@@ -1,0 +1,60 @@
+"""Fig. 10 — nvprof metrics of the three deformable sampling kernels.
+
+Paper observations to reproduce:
+
+* PyTorch issues **zero** texture load requests; tex2D/tex2D++ use them;
+* the MFLOP count drops ≈4× when the texture unit interpolates;
+* GLD efficiency reaches (≈)100 % for the texture kernels, far lower for
+  the PyTorch gather;
+* GLD transactions-per-request drop for the texture kernels.
+"""
+
+import numpy as np
+
+from repro.gpusim import XAVIER
+from repro.kernels import TABLE2_LAYERS, run_layer_all_backends
+from repro.pipeline import format_table
+
+from common import run_once, write_result
+
+
+def regenerate():
+    rows = []
+    stats = {}
+    for cfg in TABLE2_LAYERS:
+        res = run_layer_all_backends(cfg, XAVIER, bound=7.0,
+                                     compute_output=False)
+        for backend in ("pytorch", "tex2d", "tex2dpp"):
+            s = res[backend].sample_kernel
+            rows.append([cfg.label(), backend, round(s.mflop, 1),
+                         round(s.gld_efficiency, 1),
+                         round(s.gld_transactions_per_request, 2),
+                         int(s.tex_cache_requests / 1e3),
+                         round(s.tex_cache_hit_rate, 1)])
+            stats[(cfg.label(), backend)] = s
+    text = format_table(
+        ["layer", "kernel", "MFLOP", "GLD eff (%)", "GLD trans/req",
+         "tex requests (K)", "tex hit (%)"],
+        rows,
+        title="Fig. 10 analogue — nvprof metrics per sampling kernel "
+              "(Xavier)",
+    )
+    write_result("fig10_nvprof_metrics", text)
+    return stats
+
+
+def test_fig10_metrics(benchmark):
+    stats = run_once(benchmark, regenerate)
+    for cfg_label in {k[0] for k in stats}:
+        ref = stats[(cfg_label, "pytorch")]
+        t2 = stats[(cfg_label, "tex2d")]
+        # texture requests: zero for PyTorch, positive for tex kernels
+        assert ref.tex_cache_requests == 0
+        assert t2.tex_cache_requests > 0
+        # ~4x MFLOP reduction from hardware interpolation
+        assert 3.5 < ref.flop_count_sp / t2.flop_count_sp < 5.5
+        # coalescing quality flips in favour of the texture kernel
+        assert t2.gld_efficiency > 99.0
+        assert ref.gld_efficiency < t2.gld_efficiency
+        assert (t2.gld_transactions_per_request
+                < ref.gld_transactions_per_request)

@@ -1,0 +1,43 @@
+"""Fig. 7 — deformable operation speedup bars (tex2D / tex2D++ over PyTorch).
+
+The paper reports average accelerations of 1.27× (tex2D) and 1.39×
+(tex2D++) on the Xavier, with tex2D++ ahead thanks to the halved offset
+bandwidth.
+"""
+
+import numpy as np
+
+from repro.gpusim import XAVIER
+from repro.kernels import TABLE2_LAYERS, run_layer_all_backends
+from repro.pipeline import format_speedup_bars
+
+from common import run_once, write_result
+
+
+def regenerate():
+    labels, s2d, s2dpp = [], [], []
+    for cfg in TABLE2_LAYERS:
+        res = run_layer_all_backends(cfg, XAVIER, bound=7.0,
+                                     compute_output=False)
+        bl = res["pytorch"].sample_kernel.duration_ms
+        labels.append(cfg.label())
+        s2d.append(bl / res["tex2d"].sample_kernel.duration_ms)
+        s2dpp.append(bl / res["tex2dpp"].sample_kernel.duration_ms)
+    text = "\n\n".join([
+        format_speedup_bars(labels, s2d,
+                            title="Fig. 7 analogue — tex2D speedup over "
+                                  "PyTorch (Xavier)"),
+        format_speedup_bars(labels, s2dpp, title="tex2D++ speedup"),
+        f"mean: tex2D {np.mean(s2d):.2f}x (paper 1.27x), "
+        f"tex2D++ {np.mean(s2dpp):.2f}x (paper 1.39x)",
+    ])
+    write_result("fig7_op_speedup", text)
+    return np.array(s2d), np.array(s2dpp)
+
+
+def test_fig7_speedup_bars(benchmark):
+    s2d, s2dpp = run_once(benchmark, regenerate)
+    assert (s2dpp >= s2d - 1e-9).all()
+    assert s2dpp.mean() > s2d.mean() - 1e-9
+    assert 1.15 < s2d.mean() < 1.55
+    assert 1.2 < s2dpp.mean() < 1.6

@@ -1,0 +1,59 @@
+"""Fig. 8 — tile-size selection for tex2D and tex2D++.
+
+The paper sweeps tile sizes (log-scale y axis: the spread is large) and
+shows that the ytopt Bayesian-optimisation search lands on the best tile.
+Here: exhaustive sweep = the oracle; the BO tuner must match it within a
+half-budget, and beat the worst tile by a wide margin.
+"""
+
+import numpy as np
+
+from repro.autotune import TileTuner
+from repro.gpusim import XAVIER
+from repro.kernels import LayerConfig
+from repro.pipeline import format_table
+
+from common import run_once, write_result
+
+SWEEP_LAYERS = (LayerConfig(128, 128, 69, 69), LayerConfig(256, 256, 35, 35))
+
+
+def regenerate():
+    rows, summary = [], {}
+    for backend in ("tex2d", "tex2dpp"):
+        for cfg in SWEEP_LAYERS:
+            tuner = TileTuner(XAVIER, backend=backend, budget=14, seed=0)
+            grid = tuner.tune(cfg, "grid")
+            bayes = tuner.tune(cfg, "bayes")
+            rand = tuner.tune(cfg, "random")
+            worst = max(v for _, v in grid.history)
+            rows.append([
+                backend, cfg.label(),
+                f"{grid.best_point}", round(grid.best_value, 4),
+                f"{bayes.best_point}", round(bayes.best_value, 4),
+                bayes.evaluations,
+                round(rand.best_value, 4),
+                f"{worst / grid.best_value:.2f}x",
+            ])
+            summary[(backend, cfg.label())] = (grid, bayes, rand, worst)
+    text = format_table(
+        ["backend", "layer", "oracle tile", "oracle ms", "BO tile", "BO ms",
+         "BO evals", "random ms", "worst/best"],
+        rows,
+        title="Fig. 8 analogue — tile-size search (Xavier); oracle = "
+              "exhaustive sweep, BO = ytopt-style Bayesian optimisation",
+    )
+    write_result("fig8_tile_search", text)
+    return summary
+
+
+def test_fig8_tile_search(benchmark):
+    summary = run_once(benchmark, regenerate)
+    for (backend, label), (grid, bayes, rand, worst) in summary.items():
+        # tile size matters: the worst tile is much slower than the best
+        assert worst / grid.best_value > 1.5
+        # the BO tuner matches the oracle closely at half the evaluations
+        assert bayes.best_value <= grid.best_value * 1.05
+        assert bayes.evaluations < grid.evaluations
+        # and is at least as good as random search at equal budget
+        assert bayes.best_value <= rand.best_value * 1.02

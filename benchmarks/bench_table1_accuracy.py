@@ -1,0 +1,88 @@
+"""Table I — accuracy of the optimised DCN placements.
+
+Paper rows per backbone: YOLACT (0 DCNs), YOLACT++ with DCNs at every
+candidate site, YOLACT++ with the manual interval-3 placement, and "Ours"
+(interval-searched placement + bounded offsets + lightweight head).  The
+reproduction targets the *orderings* on the deformed-shapes task:
+
+* DCN configurations beat the DCN-free baseline;
+* the searched placement holds accuracy at (or above) the manual
+  interval's level with the same or a smaller DCN budget.
+
+Accuracy metric: single-object shape-classification accuracy on the same
+deformed-shapes distribution (the proxy protocol — see EXPERIMENTS.md;
+the full instance-segmentation mAP stack is exercised by
+examples/train_shapes_segmentation.py and the integration tests, but
+pure-NumPy training budgets cannot reach mAP levels where per-row
+orderings are statistically meaningful).
+"""
+
+import numpy as np
+import pytest
+
+from repro.nas.search import SearchConfig
+from repro.pipeline import (AccuracyExperiment, DefconConfig,
+                            ExperimentSettings, TrainConfig, format_table)
+
+from common import run_once, write_result
+
+
+def run_arch(arch: str):
+    settings = ExperimentSettings(
+        arch=arch, train_samples=300, val_samples=150, deformation=1.0,
+        train=TrainConfig(epochs=8, batch_size=16, optimizer="sgd", lr=1e-2),
+        search=SearchConfig(search_epochs=3, finetune_epochs=3, beta=0.05),
+    )
+    exp = AccuracyExperiment(settings)
+    n = settings.num_sites
+    manual = exp.manual_placement(3)
+    rows = [
+        exp.run_fixed("YOLACT (no DCN)", [False] * n),
+        exp.run_fixed("YOLACT++ (all DCN)", [True] * n,
+                      DefconConfig(boundary=True)),
+        exp.run_fixed("YOLACT++ (interval 3)", manual,
+                      DefconConfig(boundary=True)),
+    ]
+    # "Ours": searched placement under the manual interval's latency
+    # budget, with bounded offsets.  (The lightweight head's accuracy cost
+    # is Table III's story — the paper's Table I "Ours" likewise reports
+    # its most accurate optimised configuration.)
+    ours_cfg = DefconConfig(search=True, boundary=True)
+    latencies = exp.site_latencies_ms()
+    budget = sum(t for t, u in zip(latencies, manual) if u)
+    search = exp.run_search(ours_cfg, target_latency_ms=budget)
+    rows.append(exp.evaluate_searched(search, ours_cfg))
+    return rows
+
+
+def regenerate():
+    all_rows = {}
+    table = []
+    for arch in ("r50s", "r101s"):
+        rows = run_arch(arch)
+        all_rows[arch] = rows
+        for r in rows:
+            table.append([r.method, arch, r.num_dcn,
+                          round(100 * r.accuracy, 2)])
+    text = format_table(
+        ["method", "backbone", "# DCNs", "accuracy (%)"],
+        table,
+        title="Table I analogue — deformed-shapes accuracy "
+              "(classification protocol; paper reports COCO mask mAP)",
+    )
+    write_result("table1_accuracy", text)
+    return all_rows
+
+
+def test_table1_accuracy(benchmark):
+    all_rows = run_once(benchmark, regenerate)
+    for arch, rows in all_rows.items():
+        plain, all_dcn, manual, ours = rows
+        best_dcn = max(all_dcn.accuracy, manual.accuracy, ours.accuracy)
+        # deformable convolutions beat rigid kernels on this task
+        assert best_dcn > plain.accuracy, arch
+        # the searched model holds accuracy against the manual interval
+        # (tolerance: short runs on a synthetic task)
+        assert ours.accuracy >= manual.accuracy - 0.08, arch
+        # with a constrained DCN budget
+        assert 0 < ours.num_dcn <= manual.num_dcn + 1, arch

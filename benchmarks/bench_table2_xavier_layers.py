@@ -1,0 +1,45 @@
+"""Table II — layer-wise deformable-op latency on the Xavier.
+
+Regenerates the six-row table: per-shape latency of the PyTorch baseline,
+tex2D and tex2D++ deformable kernels, plus the speedup w.r.t. PyTorch.
+The paper's per-row speedups are 1.33–1.41×; the simulator's calibrated
+bands are asserted in tests/test_kernels.py.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import XAVIER
+from repro.kernels import TABLE2_LAYERS, run_layer_all_backends
+from repro.pipeline import format_table
+
+from common import run_once, write_result
+
+
+def regenerate(spec=XAVIER, name="table2_xavier_layers"):
+    rows = []
+    for cfg in TABLE2_LAYERS:
+        res = run_layer_all_backends(cfg, spec, bound=7.0,
+                                     compute_output=False)
+        bl = res["pytorch"].sample_kernel.duration_ms
+        t2 = res["tex2d"].sample_kernel.duration_ms
+        tp = res["tex2dpp"].sample_kernel.duration_ms
+        rows.append([cfg.in_channels, cfg.out_channels, cfg.height,
+                     cfg.width, round(bl, 3), round(t2, 3), round(tp, 3),
+                     f"{bl / tp:.2f}x"])
+    text = format_table(
+        ["In ch", "Out ch", "H", "W", "PyTorch (ms)", "tex2D (ms)",
+         "tex2D++ (ms)", "Speedup w.r. Torch"],
+        rows,
+        title=f"Table II analogue — deformable operation latency on "
+              f"{spec.name}",
+    )
+    write_result(name, text)
+    return rows
+
+
+def test_table2_xavier(benchmark):
+    rows = run_once(benchmark, regenerate)
+    speedups = np.array([float(r[-1][:-1]) for r in rows])
+    assert (speedups > 1.0).all()
+    assert 1.2 < speedups.mean() < 1.6

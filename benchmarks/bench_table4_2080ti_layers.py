@@ -1,0 +1,23 @@
+"""Table IV — layer-wise deformable-op latency on the RTX 2080 Ti.
+
+Same six shapes as Table II on the discrete GPU.  The paper's speedups
+(1.08–1.30×) are lower than the Xavier's — the big-L2, high-bandwidth part
+leaves less headroom for the texture path, which the calibrated model
+reproduces.
+"""
+
+import numpy as np
+
+from repro.gpusim import RTX_2080TI
+
+from bench_table2_xavier_layers import regenerate
+from common import run_once
+
+
+def test_table4_2080ti(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: regenerate(spec=RTX_2080TI, name="table4_2080ti_layers"))
+    speedups = np.array([float(r[-1][:-1]) for r in rows])
+    assert (speedups > 0.95).all()
+    assert 1.0 < speedups.mean() < 1.45

@@ -1,0 +1,32 @@
+"""Shared benchmark utilities.
+
+Every bench regenerates one table or figure of the paper and:
+
+* prints the paper-style table/bars to stdout (visible with ``pytest -s``),
+* writes it to ``results/<name>.txt`` so EXPERIMENTS.md can reference the
+  exact output of the last run.
+
+Heavy experiments (anything that trains a model) run once via
+``benchmark.pedantic(..., rounds=1)`` — the timing numbers then reflect one
+full regeneration of the experiment.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Print and persist a bench's output table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]", file=sys.stderr)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,68 @@
+"""Quickstart: the DEFCON deformable convolution in five minutes.
+
+Builds a deformable layer with the paper's optimisations (lightweight
+offset head, bounded deformation), trains it one step, then runs the same
+operator through the three inference backends on the simulated Jetson AGX
+Xavier and prints the nvprof-style comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.deform import DeformConv2d
+from repro.gpusim import XAVIER
+from repro.kernels import LayerConfig, run_deform_op
+from repro.pipeline import format_table
+from repro.tensor import Tensor
+
+rng = np.random.default_rng(0)
+
+# ----------------------------------------------------------------------
+# 1. A deformable convolution layer (Fig. 4b: lightweight + bounded)
+# ----------------------------------------------------------------------
+layer = DeformConv2d(in_channels=16, out_channels=32, kernel_size=3,
+                     lightweight=True, bound=7.0, rng=rng)
+x = Tensor(rng.normal(size=(2, 16, 32, 32)).astype(np.float32),
+           requires_grad=True)
+y = layer(x)
+print(f"forward: {x.shape} -> {y.shape}   ({layer})")
+
+# One training step — offsets, filter and offset head all receive grads.
+loss = (y * y).mean()
+loss.backward()
+print(f"backward: loss={loss.item():.4f}, "
+      f"{sum(p.grad is not None for p in layer.parameters())} parameter "
+      f"tensors received gradients")
+
+# ----------------------------------------------------------------------
+# 2. The same operator through the three inference backends
+# ----------------------------------------------------------------------
+cfg = LayerConfig(64, 64, 56, 56)
+x_np = rng.normal(size=cfg.input_shape()).astype(np.float32)
+w_np = rng.normal(size=cfg.weight_shape()).astype(np.float32)
+from repro.kernels import synth_offsets
+
+off = synth_offsets(cfg, sigma=2.0, bound=7.0, seed=1)
+
+rows = []
+outputs = {}
+for backend in ("pytorch", "tex2d", "tex2dpp"):
+    res = run_deform_op(backend, x_np, off, w_np, None, cfg, XAVIER,
+                        compute_output=True)
+    s = res.sample_kernel
+    outputs[backend] = res.output
+    rows.append([backend, round(s.duration_ms, 3), round(s.mflop, 1),
+                 round(s.gld_efficiency, 1), int(s.tex_cache_requests),
+                 round(s.tex_cache_hit_rate, 1)])
+print()
+print(format_table(
+    ["backend", "sample kernel (ms)", "MFLOP", "GLD eff (%)",
+     "tex requests", "tex hit (%)"],
+    rows, title=f"Deformable op {cfg.label()} on {XAVIER.name}"))
+
+err = np.abs(outputs["tex2d"] - outputs["pytorch"]).max()
+scale = np.abs(outputs["pytorch"]).max()
+print(f"\ntex2D vs software bilinear: max |err| = {err:.5f} "
+      f"({100 * err / scale:.3f} % of output range) — the 1.8 fixed-point "
+      f"filtering of the texture unit, no accuracy impact")

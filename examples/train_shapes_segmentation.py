@@ -1,0 +1,59 @@
+"""Instance segmentation on the deformed-shapes dataset.
+
+Trains YolactLite (with DEFCON's deformable placement) on the procedural
+dataset, evaluates COCO-style box/mask mAP, and renders one validation
+image with its detections as ASCII art.
+
+Run:  python examples/train_shapes_segmentation.py   (~3-4 minutes)
+"""
+
+import numpy as np
+
+from repro.data import CLASS_NAMES, ShapesDataset
+from repro.models import build_yolact
+from repro.nas import manual_interval_placement
+from repro.pipeline import (TrainConfig, evaluate_detector, train_detector)
+
+train_set = ShapesDataset.generate(160, size=64, seed=0, deformation=1.2)
+val_set = ShapesDataset.generate(64, size=64, seed=999, deformation=1.2)
+print(f"dataset: {len(train_set)} train / {len(val_set)} val images, "
+      f"classes {CLASS_NAMES}")
+
+placement = manual_interval_placement(9, 3)
+model = build_yolact("r50s", placement=placement, lightweight=True,
+                     bound=7.0, seed=0)
+print(f"model: YolactLite r50s with {sum(placement)} deformable sites "
+      f"(lightweight offset heads, bound P=7), "
+      f"{model.num_parameters():,} parameters")
+
+log = train_detector(model, train_set,
+                     TrainConfig(epochs=20, batch_size=16),
+                     progress=lambda m: print("  " + m))
+result = evaluate_detector(model, val_set)
+print(f"\nval: box mAP {100 * result.box_map:.2f}, "
+      f"mask mAP {100 * result.mask_map:.2f}, "
+      f"mask AP50 {100 * result.mask_ap50:.2f}")
+
+# ----------------------------------------------------------------------
+# ASCII rendering of one validation image with detections
+# ----------------------------------------------------------------------
+sample = val_set[0]
+dets = model.detect(sample.image[None], score_threshold=0.15, max_dets=4)
+print(f"\nimage 0: {len(sample.instances)} GT instances "
+      f"({', '.join(CLASS_NAMES[i.label] for i in sample.instances)}); "
+      f"{len(dets)} detections")
+
+canvas = np.full((32, 32), ".", dtype="<U1")
+for inst in sample.instances:
+    gt_small = inst.mask[::2, ::2]
+    canvas[gt_small] = "o"
+for d in dets:
+    pred_small = d.mask[::2, ::2]
+    canvas[pred_small & (canvas == "o")] = "#"   # overlap: correct pixels
+    canvas[pred_small & (canvas == ".")] = "+"   # prediction-only pixels
+print("legend: o = GT only, + = prediction only, # = overlap")
+for row in canvas:
+    print("".join(row))
+for d in dets:
+    print(f"  det: {CLASS_NAMES[d.label]} score={d.score:.2f} "
+          f"box={np.round(d.box, 1)}")

@@ -1,0 +1,16 @@
+"""Setup shim for environments without PEP-517 wheel support."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "DEFCON reproduction: deformable convolutions with interval search "
+        "and simulated GPU texture hardware"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.22", "scipy>=1.8"],
+)

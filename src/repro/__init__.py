@@ -1,0 +1,33 @@
+"""repro — a from-scratch reproduction of DEFCON (IPPS 2024).
+
+DEFCON: Deformable Convolutions Leveraging Interval Search and GPU Texture
+Hardware (Jayaweera, Li, Wang, Ren, Kaeli).
+
+Subpackages
+-----------
+``repro.tensor``   reverse-mode autograd engine over NumPy
+``repro.nn``       NN layers, optimizers, schedulers
+``repro.deform``   deformable convolution (fwd+bwd), offset policies, Eq. 9
+``repro.gpusim``   GPU substrate: texture units, coalescing, caches, latency
+``repro.kernels``  the pytorch / tex2D / tex2D++ deformable kernel backends
+``repro.nas``      gradient-based interval search (Algorithm 1)
+``repro.autotune`` Bayesian tile-size autotuning (Fig. 8)
+``repro.models``   ResNet backbones with DCN sites, FPN, YOLACT-style heads
+``repro.data``     deformable-shapes dataset + COCO-style mAP
+``repro.pipeline`` end-to-end experiments, latency model, reporting
+
+Quick start
+-----------
+>>> from repro.deform import DeformConv2d
+>>> from repro.tensor import Tensor
+>>> import numpy as np
+>>> layer = DeformConv2d(8, 16, lightweight=True, bound=7.0)
+>>> y = layer(Tensor(np.random.default_rng(0).normal(size=(1, 8, 16, 16))))
+>>> y.shape
+(1, 16, 16, 16)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["tensor", "nn", "deform", "gpusim", "kernels", "nas", "autotune",
+           "models", "data", "pipeline", "__version__"]

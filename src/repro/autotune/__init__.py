@@ -1,0 +1,22 @@
+"""Offline autotuning (paper Fig. 8): Bayesian optimisation over tile sizes.
+
+Plays the role of the ytopt framework the paper uses: a GP surrogate with
+expected-improvement acquisition searches the discrete (ty, tx) tile space
+against the simulator's kernel latency, with random- and grid-search
+baselines for comparison.
+"""
+
+from repro.autotune.space import SearchSpace
+from repro.autotune.gp import GaussianProcess, rbf_kernel
+from repro.autotune.acquisition import expected_improvement, lower_confidence_bound
+from repro.autotune.bayesopt import BayesianOptimizer, TuneResult
+from repro.autotune.random_search import grid_search, random_search
+from repro.autotune.tuner import TileTuner
+
+__all__ = [
+    "SearchSpace", "GaussianProcess", "rbf_kernel",
+    "expected_improvement", "lower_confidence_bound",
+    "BayesianOptimizer", "TuneResult",
+    "random_search", "grid_search",
+    "TileTuner",
+]

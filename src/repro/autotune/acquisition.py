@@ -1,0 +1,23 @@
+"""Acquisition functions for Bayesian optimisation (minimisation form)."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import norm
+
+
+def expected_improvement(mean: np.ndarray, std: np.ndarray, best: float,
+                         xi: float = 0.01) -> np.ndarray:
+    """EI for *minimisation*: expected drop below the incumbent ``best``."""
+    mean = np.asarray(mean, dtype=np.float64)
+    std = np.maximum(np.asarray(std, dtype=np.float64), 1e-12)
+    improvement = best - mean - xi
+    z = improvement / std
+    return improvement * norm.cdf(z) + std * norm.pdf(z)
+
+
+def lower_confidence_bound(mean: np.ndarray, std: np.ndarray,
+                           kappa: float = 2.0) -> np.ndarray:
+    """LCB score (lower = more promising) — returned negated so that larger
+    is better, matching the EI convention used by the optimiser."""
+    return -(np.asarray(mean) - kappa * np.asarray(std))

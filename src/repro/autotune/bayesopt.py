@@ -1,0 +1,84 @@
+"""Bayesian optimiser over a finite search space (ytopt-style).
+
+Sequential model-based optimisation: seed with a few random configurations,
+fit the GP surrogate, and repeatedly evaluate the unvisited candidate with
+the highest expected improvement.  Deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autotune.acquisition import expected_improvement
+from repro.autotune.gp import GaussianProcess
+from repro.autotune.space import SearchSpace
+
+
+@dataclass
+class TuneResult:
+    """Outcome of a tuning run."""
+
+    best_point: Tuple[int, ...]
+    best_value: float
+    history: List[Tuple[Tuple[int, ...], float]] = field(default_factory=list)
+
+    @property
+    def evaluations(self) -> int:
+        return len(self.history)
+
+    def best_trace(self) -> List[float]:
+        """Running best value after each evaluation (for convergence plots)."""
+        trace, best = [], float("inf")
+        for _, v in self.history:
+            best = min(best, v)
+            trace.append(best)
+        return trace
+
+
+class BayesianOptimizer:
+    """Minimise ``objective`` over a :class:`SearchSpace`."""
+
+    def __init__(self, space: SearchSpace, n_init: int = 4,
+                 lengthscale: float = 0.25, seed: int = 0):
+        self.space = space
+        self.n_init = max(1, min(n_init, len(space)))
+        self.seed = seed
+        self.lengthscale = lengthscale
+
+    def minimize(self, objective: Callable[[Tuple[int, ...]], float],
+                 budget: int = 16) -> TuneResult:
+        budget = min(budget, len(self.space))
+        rng = np.random.default_rng(self.seed)
+        coords = self.space.normalized()
+        points = list(self.space)
+        order = rng.permutation(len(points))
+        visited: List[int] = []
+        history: List[Tuple[Tuple[int, ...], float]] = []
+
+        def evaluate(idx: int) -> None:
+            value = float(objective(points[idx]))
+            visited.append(idx)
+            history.append((points[idx], value))
+
+        for idx in order[: self.n_init]:
+            if len(history) >= budget:
+                break
+            evaluate(int(idx))
+
+        while len(history) < budget:
+            y = np.array([v for _, v in history])
+            x = coords[visited]
+            gp = GaussianProcess(lengthscale=self.lengthscale).fit(x, y)
+            remaining = [i for i in range(len(points)) if i not in visited]
+            if not remaining:
+                break
+            mean, std = gp.predict(coords[remaining])
+            ei = expected_improvement(mean, std, best=float(y.min()))
+            evaluate(remaining[int(np.argmax(ei))])
+
+        best_point, best_value = min(history, key=lambda kv: kv[1])
+        return TuneResult(best_point=best_point, best_value=best_value,
+                          history=history)

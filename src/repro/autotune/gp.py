@@ -1,0 +1,65 @@
+"""Minimal Gaussian-process regressor (RBF kernel) for Bayesian optimisation.
+
+Exact GP with a squared-exponential kernel and a small noise nugget —
+entirely adequate for the tens-of-points budgets autotuning uses (the paper
+tunes offline with ytopt, which defaults to comparable surrogates).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve
+
+
+def rbf_kernel(a: np.ndarray, b: np.ndarray, lengthscale: float,
+               variance: float) -> np.ndarray:
+    """Squared-exponential kernel matrix between row sets ``a`` and ``b``."""
+    d2 = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=-1)
+    return variance * np.exp(-0.5 * d2 / lengthscale**2)
+
+
+class GaussianProcess:
+    """GP regression with fixed hyperparameters (fit rescales targets)."""
+
+    def __init__(self, lengthscale: float = 0.2, variance: float = 1.0,
+                 noise: float = 1e-4):
+        if lengthscale <= 0 or variance <= 0 or noise < 0:
+            raise ValueError("invalid GP hyperparameters")
+        self.lengthscale = lengthscale
+        self.variance = variance
+        self.noise = noise
+        self._x = None
+        self._alpha = None
+        self._chol = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if len(x) != len(y):
+            raise ValueError("x and y length mismatch")
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) or 1.0
+        yn = (y - self._y_mean) / self._y_std
+        k = rbf_kernel(x, x, self.lengthscale, self.variance)
+        k[np.diag_indices_from(k)] += self.noise
+        self._chol = cho_factor(k, lower=True)
+        self._alpha = cho_solve(self._chol, yn)
+        self._x = x
+        return self
+
+    def predict(self, x_new: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and standard deviation at ``x_new``."""
+        if self._x is None:
+            raise RuntimeError("predict() before fit()")
+        x_new = np.atleast_2d(np.asarray(x_new, dtype=np.float64))
+        k_star = rbf_kernel(x_new, self._x, self.lengthscale, self.variance)
+        mean = k_star @ self._alpha
+        v = cho_solve(self._chol, k_star.T)
+        var = self.variance - np.einsum("ij,ji->i", k_star, v)
+        var = np.maximum(var, 1e-12)
+        return (mean * self._y_std + self._y_mean,
+                np.sqrt(var) * self._y_std)

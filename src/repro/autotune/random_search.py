@@ -1,0 +1,34 @@
+"""Random-search baseline for the autotuner comparison."""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.autotune.bayesopt import TuneResult
+from repro.autotune.space import SearchSpace
+
+
+def random_search(space: SearchSpace,
+                  objective: Callable[[Tuple[int, ...]], float],
+                  budget: int = 16, seed: int = 0) -> TuneResult:
+    """Evaluate ``budget`` distinct random configurations; keep the best."""
+    budget = min(budget, len(space))
+    rng = np.random.default_rng(seed)
+    points = list(space)
+    order = rng.permutation(len(points))[:budget]
+    history = [(points[int(i)], float(objective(points[int(i)])))
+               for i in order]
+    best_point, best_value = min(history, key=lambda kv: kv[1])
+    return TuneResult(best_point=best_point, best_value=best_value,
+                      history=history)
+
+
+def grid_search(space: SearchSpace,
+                objective: Callable[[Tuple[int, ...]], float]) -> TuneResult:
+    """Exhaustive sweep — the oracle the Fig. 8 bench compares against."""
+    history = [(p, float(objective(p))) for p in space]
+    best_point, best_value = min(history, key=lambda kv: kv[1])
+    return TuneResult(best_point=best_point, best_value=best_value,
+                      history=history)

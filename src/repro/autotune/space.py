@@ -1,0 +1,52 @@
+"""Discrete search spaces for kernel autotuning."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """A finite space of integer-tuple configurations (e.g. (ty, tx) tiles).
+
+    Points are exposed both as raw tuples and as a normalised float matrix
+    in [0, 1]^d (log2-scaled, since tile extents are powers of two and their
+    effect on latency is multiplicative).
+    """
+
+    points: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self):
+        if not self.points:
+            raise ValueError("empty search space")
+        dims = {len(p) for p in self.points}
+        if len(dims) != 1:
+            raise ValueError("all points must share dimensionality")
+
+    @property
+    def dim(self) -> int:
+        return len(self.points[0])
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def index(self, point: Tuple[int, ...]) -> int:
+        return self.points.index(tuple(point))
+
+    def normalized(self) -> np.ndarray:
+        """(n_points, dim) matrix of log2-scaled coordinates in [0, 1]."""
+        arr = np.log2(np.asarray(self.points, dtype=np.float64))
+        lo = arr.min(axis=0)
+        hi = arr.max(axis=0)
+        span = np.where(hi > lo, hi - lo, 1.0)
+        return (arr - lo) / span
+
+    @classmethod
+    def from_tiles(cls, tiles: Sequence[Tuple[int, int]]) -> "SearchSpace":
+        return cls(points=tuple(tuple(t) for t in tiles))

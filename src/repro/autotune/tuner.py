@@ -1,0 +1,96 @@
+"""Tile-size autotuning for the tex2D kernels (paper Fig. 8).
+
+The paper searches tile sizes offline with the ytopt Bayesian-optimisation
+framework; :class:`TileTuner` plays that role against the simulator's
+latency.  Results are cached per (layer, device, backend) so a model's
+tiles are tuned once and reused at inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.autotune.bayesopt import BayesianOptimizer, TuneResult
+from repro.autotune.random_search import grid_search, random_search
+from repro.autotune.space import SearchSpace
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.trace import SamplePlan
+from repro.kernels.config import LayerConfig, synth_offsets
+from repro.kernels.dispatch import run_deform_op
+from repro.kernels.tiling import enumerate_tiles
+
+
+@dataclass(frozen=True)
+class TuneKey:
+    layer: LayerConfig
+    device: str
+    backend: str
+
+
+class TileTuner:
+    """Search the (ty, tx) tile space for minimum simulated latency."""
+
+    def __init__(self, spec: DeviceSpec, backend: str = "tex2d",
+                 budget: int = 16, seed: int = 0,
+                 offset_sigma: float = 2.0, bound: Optional[float] = 7.0):
+        if backend not in ("tex2d", "tex2dpp"):
+            raise ValueError("tile tuning applies to the texture backends")
+        self.spec = spec
+        self.backend = backend
+        self.budget = budget
+        self.seed = seed
+        self.offset_sigma = offset_sigma
+        self.bound = bound
+        self._cache: Dict[TuneKey, TuneResult] = {}
+
+    # ------------------------------------------------------------------
+    def objective(self, cfg: LayerConfig):
+        """Build the latency objective for one layer (shared inputs)."""
+        rng = np.random.default_rng(self.seed)
+        x = rng.normal(size=cfg.input_shape()).astype(np.float32)
+        w = rng.normal(size=cfg.weight_shape()).astype(np.float32)
+        off = synth_offsets(cfg, sigma=self.offset_sigma, bound=self.bound,
+                            seed=self.seed)
+        plan = SamplePlan(seed=self.seed)
+
+        def latency(tile: Tuple[int, int]) -> float:
+            res = run_deform_op(self.backend, x, off, w, None, cfg,
+                                self.spec, tile=tuple(tile), plan=plan,
+                                compute_output=False)
+            return res.sample_kernel.duration_ms
+
+        return latency
+
+    def space(self, cfg: LayerConfig) -> SearchSpace:
+        return SearchSpace.from_tiles(enumerate_tiles(cfg, self.spec))
+
+    # ------------------------------------------------------------------
+    def tune(self, cfg: LayerConfig, method: str = "bayes") -> TuneResult:
+        """Tune one layer; ``method`` in {'bayes', 'random', 'grid'}."""
+        key = TuneKey(cfg, self.spec.name, f"{self.backend}:{method}")
+        if key in self._cache:
+            return self._cache[key]
+        space = self.space(cfg)
+        objective = self.objective(cfg)
+        if method == "bayes":
+            result = BayesianOptimizer(space, seed=self.seed).minimize(
+                objective, budget=self.budget)
+        elif method == "random":
+            result = random_search(space, objective, budget=self.budget,
+                                   seed=self.seed)
+        elif method == "grid":
+            result = grid_search(space, objective)
+        else:
+            raise ValueError(f"unknown tuning method {method!r}")
+        self._cache[key] = result
+        return result
+
+    def best_tile(self, cfg: LayerConfig) -> Tuple[int, int]:
+        return tuple(self.tune(cfg).best_point)
+
+    def tune_layers(self, layers) -> Dict[LayerConfig, Tuple[int, int]]:
+        """Tune a whole model's deformable layer shapes (deduplicated)."""
+        return {cfg: self.best_tile(cfg) for cfg in dict.fromkeys(layers)}

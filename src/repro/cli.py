@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Thin, scriptable entry points over the library — the commands a downstream
+user reaches for first:
+
+* ``devices``       — list the simulated GPU presets;
+* ``layers``        — per-layer backend comparison (Table II/IV rows);
+* ``end-to-end``    — the Table III trajectory for a device;
+* ``tune``          — autotune the CTA tile for one layer shape;
+* ``latency-table`` — build (and optionally save) the NAS latency table;
+* ``profile``       — nvprof-style counters for one layer on all backends.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.gpusim.device import DEVICES, get_device
+from repro.kernels.config import TABLE2_LAYERS, LayerConfig
+from repro.pipeline.reporting import format_table
+
+
+def _layer_from_arg(text: str) -> LayerConfig:
+    """Parse ``CIN,COUT,H,W[,STRIDE]`` into a LayerConfig."""
+    parts = [int(p) for p in text.split(",")]
+    if len(parts) not in (4, 5):
+        raise argparse.ArgumentTypeError(
+            "layer must be CIN,COUT,H,W[,STRIDE]")
+    stride = parts[4] if len(parts) == 5 else 1
+    return LayerConfig(parts[0], parts[1], parts[2], parts[3],
+                       stride=stride)
+
+
+def cmd_devices(args) -> int:
+    """``repro devices`` — list the simulated GPU presets."""
+    rows = [[s.name, s.num_sms, s.core_clock_ghz, s.dram_bandwidth_gbps,
+             s.tex_cache_kb_per_sm, round(s.peak_gflops / 1000, 2)]
+            for s in DEVICES.values()]
+    print(format_table(
+        ["device", "SMs", "clock (GHz)", "DRAM (GB/s)", "tex $ (KB/SM)",
+         "peak (TFLOP/s)"], rows, title="Simulated GPU presets"))
+    return 0
+
+
+def cmd_layers(args) -> int:
+    """``repro layers`` — per-layer backend latency comparison."""
+    from repro.kernels.dispatch import run_layer_all_backends
+
+    spec = get_device(args.device)
+    layers = ([_layer_from_arg(args.layer)] if args.layer
+              else list(TABLE2_LAYERS))
+    rows = []
+    for cfg in layers:
+        res = run_layer_all_backends(cfg, spec, bound=args.bound,
+                                     compute_output=False)
+        bl = res["pytorch"].sample_kernel.duration_ms
+        t2 = res["tex2d"].sample_kernel.duration_ms
+        tp = res["tex2dpp"].sample_kernel.duration_ms
+        rows.append([cfg.label(), round(bl, 3), round(t2, 3), round(tp, 3),
+                     f"{bl / tp:.2f}x"])
+    print(format_table(
+        ["layer", "PyTorch (ms)", "tex2D (ms)", "tex2D++ (ms)", "speedup"],
+        rows, title=f"Deformable operation on {spec.name}"))
+    return 0
+
+
+def cmd_end_to_end(args) -> int:
+    """``repro end-to-end`` — the Table III latency trajectory."""
+    from repro.nas.search import manual_interval_placement
+    from repro.pipeline.geometry import paper_scale_geometry
+    from repro.pipeline.inference import network_latency_ms
+
+    spec = get_device(args.device)
+    geo = paper_scale_geometry(args.arch)
+    manual = manual_interval_placement(geo.num_sites, 3)
+    searched = list(manual)
+    on = [i for i, v in enumerate(searched) if v]
+    searched[on[1]] = False
+    baseline = network_latency_ms(geo, manual, spec).total_ms
+    rows = []
+    for label, placement, kw in (
+            ("YOLACT++ baseline", manual, {}),
+            ("interval search", searched, {}),
+            ("search+tex2d", searched, dict(backend="tex2d")),
+            ("search+light+bound+tex2dpp", searched,
+             dict(backend="tex2dpp", lightweight=True, bound=7.0))):
+        t = network_latency_ms(geo, placement, spec, **kw).total_ms
+        rows.append([label, sum(placement), round(t, 1),
+                     f"{baseline / t:.2f}x"])
+    print(format_table(["configuration", "# DCNs", "ms", "speedup"], rows,
+                       title=f"End-to-end {geo.name} on {spec.name}"))
+    return 0
+
+
+def cmd_tune(args) -> int:
+    """``repro tune`` — Bayesian tile-size search for one layer."""
+    from repro.autotune.tuner import TileTuner
+
+    spec = get_device(args.device)
+    cfg = _layer_from_arg(args.layer)
+    tuner = TileTuner(spec, backend=args.backend, budget=args.budget)
+    result = tuner.tune(cfg, args.method)
+    print(f"best tile for {cfg.label()} on {spec.name} [{args.backend}]: "
+          f"{result.best_point} @ {result.best_value:.4f} ms "
+          f"({result.evaluations} evaluations)")
+    return 0
+
+
+def cmd_latency_table(args) -> int:
+    """``repro latency-table`` — build (and save) the NAS t(w_n) table."""
+    from repro.nas.latency_table import LatencyTable
+    from repro.pipeline.geometry import candidate_site_configs
+
+    spec = get_device(args.device)
+    table = LatencyTable(spec, backend=args.backend)
+    table.build(candidate_site_configs(args.arch))
+    rows = [[cfg.label(), round(lat.regular_ms, 3),
+             round(lat.deform_ms, 3), round(lat.extra_ms, 3)]
+            for cfg, lat in table.items()]
+    print(format_table(
+        ["site", "regular (ms)", "deformable (ms)", "extra (ms)"], rows,
+        title=f"t(w_n) lookup table for {args.arch} on {spec.name}"))
+    if args.save:
+        table.save(args.save)
+        print(f"saved to {args.save}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """``repro profile`` — nvprof-style counters for one layer."""
+    from repro.kernels.dispatch import run_layer_all_backends
+
+    spec = get_device(args.device)
+    cfg = _layer_from_arg(args.layer)
+    res = run_layer_all_backends(cfg, spec, bound=args.bound,
+                                 compute_output=False)
+    rows = []
+    for backend in ("pytorch", "tex2d", "tex2dpp"):
+        s = res[backend].sample_kernel
+        rows.append([backend, round(s.duration_ms, 4), round(s.mflop, 2),
+                     round(s.gld_efficiency, 1),
+                     round(s.gld_transactions_per_request, 2),
+                     int(s.tex_cache_requests),
+                     round(s.tex_cache_hit_rate, 1)])
+    print(format_table(
+        ["kernel", "ms", "MFLOP", "GLD eff %", "trans/req", "tex req",
+         "tex hit %"], rows,
+        title=f"nvprof-style counters for {cfg.label()} on {spec.name}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DEFCON reproduction command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list simulated GPU presets")
+
+    p = sub.add_parser("layers", help="per-layer backend comparison")
+    p.add_argument("--device", default="xavier")
+    p.add_argument("--layer", default=None,
+                   help="CIN,COUT,H,W[,STRIDE]; default: Table II shapes")
+    p.add_argument("--bound", type=float, default=7.0)
+
+    p = sub.add_parser("end-to-end", help="Table III trajectory")
+    p.add_argument("--device", default="xavier")
+    p.add_argument("--arch", default="r101s")
+
+    p = sub.add_parser("tune", help="autotune the CTA tile for a layer")
+    p.add_argument("--device", default="xavier")
+    p.add_argument("--layer", required=True)
+    p.add_argument("--backend", default="tex2d",
+                   choices=["tex2d", "tex2dpp"])
+    p.add_argument("--budget", type=int, default=14)
+    p.add_argument("--method", default="bayes",
+                   choices=["bayes", "random", "grid"])
+
+    p = sub.add_parser("latency-table", help="build the NAS t(w_n) table")
+    p.add_argument("--device", default="xavier")
+    p.add_argument("--arch", default="r101s")
+    p.add_argument("--backend", default="pytorch")
+    p.add_argument("--save", default=None, help="write JSON to this path")
+
+    p = sub.add_parser("profile", help="nvprof counters for one layer")
+    p.add_argument("--device", default="xavier")
+    p.add_argument("--layer", required=True)
+    p.add_argument("--bound", type=float, default=7.0)
+    return parser
+
+
+COMMANDS = {
+    "devices": cmd_devices,
+    "layers": cmd_layers,
+    "end-to-end": cmd_end_to_end,
+    "tune": cmd_tune,
+    "latency-table": cmd_latency_table,
+    "profile": cmd_profile,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

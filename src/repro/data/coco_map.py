@@ -1,0 +1,155 @@
+"""COCO-style mean Average Precision (box and mask).
+
+Implements the standard COCO protocol the paper reports: AP averaged over
+IoU thresholds 0.50:0.05:0.95 (and AP50 separately), greedy matching of
+score-sorted detections to ground truth, 101-point interpolated
+precision, mean over classes present in the ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.iou import box_iou, mask_iou
+
+COCO_IOU_THRESHOLDS = tuple(np.round(np.arange(0.5, 1.0, 0.05), 2))
+RECALL_POINTS = np.linspace(0.0, 1.0, 101)
+
+
+@dataclass
+class Detection:
+    """One predicted instance on one image."""
+
+    image_id: int
+    label: int
+    score: float
+    box: np.ndarray                      # (4,)
+    mask: Optional[np.ndarray] = None    # (H, W) bool
+
+
+@dataclass
+class GroundTruth:
+    """One annotated instance on one image."""
+
+    image_id: int
+    label: int
+    box: np.ndarray
+    mask: Optional[np.ndarray] = None
+
+
+@dataclass
+class EvalResult:
+    """Box/mask mAP bundle matching the paper's reporting columns."""
+
+    box_map: float
+    mask_map: float
+    box_ap50: float
+    mask_ap50: float
+    per_class: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+
+    def row(self) -> Dict[str, float]:
+        return {
+            "box_map": round(100 * self.box_map, 2),
+            "mask_map": round(100 * self.mask_map, 2),
+            "mask_ap50": round(100 * self.mask_ap50, 2),
+        }
+
+
+def _average_precision(matched: np.ndarray, scores: np.ndarray,
+                       num_gt: int) -> float:
+    """101-point interpolated AP from per-detection match flags."""
+    if num_gt == 0:
+        return float("nan")
+    if len(matched) == 0:
+        return 0.0
+    order = np.argsort(-scores, kind="stable")
+    matched = matched[order]
+    tp = np.cumsum(matched)
+    fp = np.cumsum(~matched)
+    recall = tp / num_gt
+    precision = tp / np.maximum(tp + fp, 1)
+    # Precision envelope, then 101-point sampling (COCO).
+    for i in range(len(precision) - 2, -1, -1):
+        precision[i] = max(precision[i], precision[i + 1])
+    ap = 0.0
+    for r in RECALL_POINTS:
+        idx = np.searchsorted(recall, r, side="left")
+        ap += precision[idx] if idx < len(precision) else 0.0
+    return ap / len(RECALL_POINTS)
+
+
+def _match_class(dets: List[Detection], gts: List[GroundTruth],
+                 iou_thr: float, use_mask: bool) -> np.ndarray:
+    """Greedy matching per image; returns the per-detection TP flags."""
+    flags = np.zeros(len(dets), dtype=bool)
+    by_image: Dict[int, List[int]] = {}
+    for i, g in enumerate(gts):
+        by_image.setdefault(g.image_id, []).append(i)
+    taken = set()
+    order = np.argsort([-d.score for d in dets], kind="stable")
+    for rank in order:
+        det = dets[rank]
+        candidates = by_image.get(det.image_id, [])
+        best_iou, best_gt = iou_thr, None
+        for gi in candidates:
+            if gi in taken:
+                continue
+            gt = gts[gi]
+            if use_mask:
+                if det.mask is None or gt.mask is None:
+                    continue
+                iou = float(mask_iou(det.mask[None], gt.mask[None])[0, 0])
+            else:
+                iou = float(box_iou(det.box[None], gt.box[None])[0, 0])
+            if iou >= best_iou:
+                best_iou, best_gt = iou, gi
+        if best_gt is not None:
+            taken.add(best_gt)
+            flags[rank] = True
+    return flags
+
+
+def average_precision(dets: Sequence[Detection], gts: Sequence[GroundTruth],
+                      iou_thr: float, use_mask: bool) -> Dict[int, float]:
+    """Per-class AP at one IoU threshold."""
+    labels = sorted({g.label for g in gts})
+    result = {}
+    for label in labels:
+        cls_dets = [d for d in dets if d.label == label]
+        cls_gts = [g for g in gts if g.label == label]
+        flags = _match_class(cls_dets, cls_gts, iou_thr, use_mask)
+        scores = np.array([d.score for d in cls_dets])
+        result[label] = _average_precision(flags, scores, len(cls_gts))
+    return result
+
+
+def evaluate_map(dets: Sequence[Detection], gts: Sequence[GroundTruth],
+                 iou_thresholds: Sequence[float] = COCO_IOU_THRESHOLDS
+                 ) -> EvalResult:
+    """Full COCO-style evaluation: box & mask mAP plus AP50."""
+    if not gts:
+        raise ValueError("no ground truth to evaluate against")
+    box_aps, mask_aps = [], []
+    box_ap50: Dict[int, float] = {}
+    mask_ap50: Dict[int, float] = {}
+    for thr in iou_thresholds:
+        box_cls = average_precision(dets, gts, thr, use_mask=False)
+        mask_cls = average_precision(dets, gts, thr, use_mask=True)
+        box_aps.append(np.nanmean(list(box_cls.values())))
+        mask_aps.append(np.nanmean(list(mask_cls.values())))
+        if abs(thr - 0.5) < 1e-9:
+            box_ap50, mask_ap50 = box_cls, mask_cls
+    per_class = {
+        label: (box_ap50.get(label, 0.0), mask_ap50.get(label, 0.0))
+        for label in sorted({g.label for g in gts})
+    }
+    return EvalResult(
+        box_map=float(np.nanmean(box_aps)),
+        mask_map=float(np.nanmean(mask_aps)),
+        box_ap50=float(np.nanmean(list(box_ap50.values()))),
+        mask_ap50=float(np.nanmean(list(mask_ap50.values()))),
+        per_class=per_class,
+    )

@@ -1,0 +1,48 @@
+"""IoU primitives for boxes and masks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def box_iou(boxes1: np.ndarray, boxes2: np.ndarray) -> np.ndarray:
+    """Pairwise IoU of (N, 4) and (M, 4) boxes in x1y1x2y2 form."""
+    boxes1 = np.atleast_2d(np.asarray(boxes1, dtype=np.float64))
+    boxes2 = np.atleast_2d(np.asarray(boxes2, dtype=np.float64))
+    if boxes1.size == 0 or boxes2.size == 0:
+        return np.zeros((len(boxes1), len(boxes2)))
+    x1 = np.maximum(boxes1[:, None, 0], boxes2[None, :, 0])
+    y1 = np.maximum(boxes1[:, None, 1], boxes2[None, :, 1])
+    x2 = np.minimum(boxes1[:, None, 2], boxes2[None, :, 2])
+    y2 = np.minimum(boxes1[:, None, 3], boxes2[None, :, 3])
+    inter = np.clip(x2 - x1, 0, None) * np.clip(y2 - y1, 0, None)
+    area1 = ((boxes1[:, 2] - boxes1[:, 0])
+             * (boxes1[:, 3] - boxes1[:, 1]))[:, None]
+    area2 = ((boxes2[:, 2] - boxes2[:, 0])
+             * (boxes2[:, 3] - boxes2[:, 1]))[None, :]
+    union = area1 + area2 - inter
+    return np.where(union > 0, inter / union, 0.0)
+
+
+def mask_iou(masks1: np.ndarray, masks2: np.ndarray) -> np.ndarray:
+    """Pairwise IoU of (N, H, W) and (M, H, W) boolean masks."""
+    masks1 = np.asarray(masks1, dtype=bool)
+    masks2 = np.asarray(masks2, dtype=bool)
+    if masks1.size == 0 or masks2.size == 0:
+        return np.zeros((len(masks1), len(masks2)))
+    m1 = masks1.reshape(len(masks1), -1).astype(np.float64)
+    m2 = masks2.reshape(len(masks2), -1).astype(np.float64)
+    inter = m1 @ m2.T
+    area1 = m1.sum(axis=1)[:, None]
+    area2 = m2.sum(axis=1)[None, :]
+    union = area1 + area2 - inter
+    return np.where(union > 0, inter / union, 0.0)
+
+
+def box_from_mask(mask: np.ndarray) -> np.ndarray:
+    """Tight x1y1x2y2 box of a boolean mask (zeros if empty)."""
+    ys, xs = np.nonzero(mask)
+    if len(ys) == 0:
+        return np.zeros(4)
+    return np.array([xs.min(), ys.min(), xs.max() + 1, ys.max() + 1],
+                    dtype=np.float64)

@@ -1,0 +1,37 @@
+"""Deformable convolution: the paper's core operator and its DEFCON knobs.
+
+Public surface:
+
+* :func:`deform_conv2d` — the differentiable operator (Eq. 2 + 3);
+* :class:`DeformConv2d` — layer with lightweight / bounded / rounded /
+  modulated options (Fig. 4);
+* offset policies and the Eq. 9 MAC accounting.
+"""
+
+from repro.deform.bilinear import (bilinear_gradients, bilinear_kernel_1d,
+                                   bilinear_sample, bilinear_sample_reference)
+from repro.deform.deform_conv import (deform_conv2d, deform_im2col_arrays,
+                                      sampling_positions)
+from repro.deform.layers import DeformConv2d
+from repro.deform.lightweight import (LightweightOffsetHead, RegularOffsetHead,
+                                      mac_reduction, offset_channels)
+from repro.deform.offsets import (DEFAULT_BOUND, OffsetPolicy, bound_offsets,
+                                  offset_regularization, round_offsets)
+from repro.deform.macs import DeformMacBreakdown, breakdown, eq9_reduction
+from repro.deform.analysis import (OffsetStats, ascii_heatmap,
+                                   deformation_magnitude_map,
+                                   model_offset_report, offset_stats)
+
+__all__ = [
+    "bilinear_sample", "bilinear_sample_reference", "bilinear_gradients",
+    "bilinear_kernel_1d",
+    "deform_conv2d", "deform_im2col_arrays", "sampling_positions",
+    "DeformConv2d",
+    "LightweightOffsetHead", "RegularOffsetHead", "offset_channels",
+    "mac_reduction",
+    "OffsetPolicy", "bound_offsets", "round_offsets",
+    "offset_regularization", "DEFAULT_BOUND",
+    "DeformMacBreakdown", "breakdown", "eq9_reduction",
+    "OffsetStats", "offset_stats", "model_offset_report",
+    "deformation_magnitude_map", "ascii_heatmap",
+]

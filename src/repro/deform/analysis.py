@@ -1,0 +1,101 @@
+"""Analysis utilities for learned deformations.
+
+The paper reasons about deformations qualitatively (Fig. 4's receptive
+fields, the bounded-deformation discussion); these helpers make the same
+quantities measurable on a trained model:
+
+* per-layer offset statistics (spread, maximum reach, bound saturation);
+* the effective receptive-field extent a deformable kernel achieves;
+* a per-pixel deformation-magnitude map (renderable as ASCII art).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.deform.layers import DeformConv2d
+from repro.nn import Module
+
+
+@dataclass(frozen=True)
+class OffsetStats:
+    """Summary of one layer's predicted offsets (pixels)."""
+
+    mean_magnitude: float
+    std: float
+    max_magnitude: float
+    #: fraction of offset components sitting at the clamp bound
+    saturation: float
+    #: maximum sampling reach: base kernel radius + max offset
+    effective_radius: float
+
+    def row(self) -> Dict[str, float]:
+        return {
+            "mean|Δp|": round(self.mean_magnitude, 3),
+            "std": round(self.std, 3),
+            "max|Δp|": round(self.max_magnitude, 3),
+            "saturation%": round(100 * self.saturation, 2),
+            "eff_radius": round(self.effective_radius, 2),
+        }
+
+
+def offset_stats(offsets: np.ndarray, kernel_size: int = 3,
+                 dilation: int = 1,
+                 bound: Optional[float] = None) -> OffsetStats:
+    """Statistics of an offset tensor (N, 2·dg·k², OH, OW)."""
+    off = np.asarray(offsets, dtype=np.float64)
+    dy = off[:, 0::2]
+    dx = off[:, 1::2]
+    mag = np.sqrt(dy**2 + dx**2)
+    if bound is not None and bound > 0:
+        at_bound = (np.abs(off) >= bound - 1e-4).mean()
+    else:
+        at_bound = 0.0
+    base_radius = dilation * (kernel_size - 1) / 2.0
+    return OffsetStats(
+        mean_magnitude=float(mag.mean()),
+        std=float(off.std()),
+        max_magnitude=float(mag.max()),
+        saturation=float(at_bound),
+        effective_radius=float(base_radius + mag.max()),
+    )
+
+
+def model_offset_report(model: Module) -> Dict[str, OffsetStats]:
+    """Offset stats for every DeformConv2d that has run a forward pass.
+
+    Call after one inference (the layers cache ``last_offsets``).
+    """
+    report = {}
+    for name, mod in model.named_modules():
+        if isinstance(mod, DeformConv2d) and mod.last_offsets is not None:
+            report[name] = offset_stats(
+                mod.last_offsets.data, kernel_size=mod.kernel_size,
+                dilation=mod.dilation, bound=mod.policy.bound)
+    return report
+
+
+def deformation_magnitude_map(offsets: np.ndarray) -> np.ndarray:
+    """Per-output-pixel mean sampling displacement (OH, OW), batch-averaged."""
+    off = np.asarray(offsets, dtype=np.float64)
+    dy = off[:, 0::2]
+    dx = off[:, 1::2]
+    return np.sqrt(dy**2 + dx**2).mean(axis=(0, 1))
+
+
+def ascii_heatmap(grid: np.ndarray, width: int = 32,
+                  palette: str = " .:-=+*#%@") -> str:
+    """Render a 2-D non-negative map as ASCII (row-subsampled to ``width``)."""
+    grid = np.asarray(grid, dtype=np.float64)
+    h, w = grid.shape
+    step = max(1, w // width)
+    small = grid[::step, ::step]
+    peak = small.max()
+    if peak <= 0:
+        return "\n".join("".join(palette[0] for _ in row) for row in small)
+    idx = np.minimum((small / peak * (len(palette) - 1)).astype(int),
+                     len(palette) - 1)
+    return "\n".join("".join(palette[i] for i in row) for row in idx)

@@ -1,0 +1,116 @@
+"""Software bilinear interpolation — paper Eq. (3).
+
+This module is the *reference* ("PyTorch-style") interpolation path: the
+four-neighbour gather with out-of-bounds values taken as zero, exactly as
+described in Section II-A.  The GPU texture unit's fixed-point counterpart
+lives in :mod:`repro.gpusim.texture`; tests assert the two agree to
+fixed-point tolerance.
+
+All functions are vectorised over arbitrary leading batch dimensions of the
+coordinate arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def bilinear_kernel_1d(p: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """The 1-D interpolation kernel ``g(p, q) = max(0, 1 - |p - q|)``."""
+    return np.maximum(0.0, 1.0 - np.abs(p - q))
+
+
+def corner_weights(py: np.ndarray, px: np.ndarray
+                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+                              np.ndarray, np.ndarray]:
+    """Integer corners and fractional weights for bilinear sampling.
+
+    Returns ``(y0, x0, wy, wx, y1, x1)`` where ``(y0, x0)`` is the top-left
+    integer neighbour and ``(wy, wx)`` are the fractional parts, so the four
+    corner weights are::
+
+        (1-wy)(1-wx)  (1-wy)wx
+        wy(1-wx)      wy*wx
+    """
+    y0 = np.floor(py)
+    x0 = np.floor(px)
+    wy = (py - y0).astype(py.dtype)
+    wx = (px - x0).astype(px.dtype)
+    y0 = y0.astype(np.int64)
+    x0 = x0.astype(np.int64)
+    return y0, x0, wy, wx, y0 + 1, x0 + 1
+
+
+def gather_zero_pad(img: np.ndarray, y: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Gather ``img[..., y, x]`` treating out-of-bounds as zero.
+
+    ``img`` has shape (..., H, W); ``y``/``x`` broadcast against the leading
+    dims of ``img`` and index its last two axes elementwise.
+    """
+    h, w = img.shape[-2:]
+    valid = (y >= 0) & (y < h) & (x >= 0) & (x < w)
+    yc = np.clip(y, 0, h - 1)
+    xc = np.clip(x, 0, w - 1)
+    flat = img.reshape(*img.shape[:-2], h * w)
+    idx = yc * w + xc
+    lead = np.broadcast_shapes(flat.shape[:-1], idx.shape[:-1])
+    vals = np.take_along_axis(
+        np.broadcast_to(flat, (*lead, h * w)),
+        np.broadcast_to(idx, (*lead, idx.shape[-1])),
+        axis=-1,
+    )
+    return vals * valid
+
+
+def bilinear_sample(img: np.ndarray, py: np.ndarray, px: np.ndarray) -> np.ndarray:
+    """Sample ``img`` at fractional positions with zero padding (Eq. 3).
+
+    ``img``: (..., H, W); ``py``/``px``: (..., L) sharing img's leading dims.
+    Returns values of shape (..., L).
+    """
+    y0, x0, wy, wx, y1, x1 = corner_weights(py, px)
+    v00 = gather_zero_pad(img, y0, x0)
+    v01 = gather_zero_pad(img, y0, x1)
+    v10 = gather_zero_pad(img, y1, x0)
+    v11 = gather_zero_pad(img, y1, x1)
+    return ((1 - wy) * (1 - wx) * v00 + (1 - wy) * wx * v01
+            + wy * (1 - wx) * v10 + wy * wx * v11)
+
+
+def bilinear_sample_reference(img: np.ndarray, py: float, px: float) -> float:
+    """Scalar closed-form of Eq. (3): sum over *all* integer q of G·x(q).
+
+    Quadratically slow; exists purely as a test oracle for
+    :func:`bilinear_sample`.
+    """
+    h, w = img.shape
+    total = 0.0
+    for qy in range(h):
+        gy = max(0.0, 1.0 - abs(py - qy))
+        if gy == 0.0:
+            continue
+        for qx in range(w):
+            gx = max(0.0, 1.0 - abs(px - qx))
+            if gx:
+                total += gy * gx * float(img[qy, qx])
+    return total
+
+
+def bilinear_gradients(img: np.ndarray, py: np.ndarray, px: np.ndarray
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+    """Partial derivatives of the sampled value w.r.t. (py, px).
+
+    Piecewise-linear in each coordinate, so the derivative is the weighted
+    difference of corner values.  Matches the analytic gradient used by the
+    deformable-conv backward pass.
+    """
+    y0, x0, wy, wx, y1, x1 = corner_weights(py, px)
+    v00 = gather_zero_pad(img, y0, x0)
+    v01 = gather_zero_pad(img, y0, x1)
+    v10 = gather_zero_pad(img, y1, x0)
+    v11 = gather_zero_pad(img, y1, x1)
+    d_py = (1 - wx) * (v10 - v00) + wx * (v11 - v01)
+    d_px = (1 - wy) * (v01 - v00) + wy * (v11 - v10)
+    return d_py, d_px

@@ -1,0 +1,145 @@
+"""The :class:`DeformConv2d` layer — paper Fig. 4 (a)/(b) as one module.
+
+Combines the pieces of the DEFCON optimisation paradigm:
+
+* offset head: regular 3×3 conv (Fig. 4a) or lightweight depthwise+1×1
+  (Fig. 4b, "Light" in Table III);
+* offset policy: bounded deformation / rounded offsets (Fig. 4b, Table V);
+* the deformable convolution itself (Eq. 2), optionally DCNv2-modulated.
+
+The layer records its last predicted offsets (``last_offsets``) so that the
+training loop can add the regularisation penalty of Table V and so the GPU
+simulator can replay the true data-dependent access pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import Conv2d, Module
+from repro.nn import init
+from repro.nn.im2col import conv_output_size
+from repro.nn.module import Parameter
+from repro.deform.deform_conv import deform_conv2d
+from repro.deform.lightweight import (LightweightOffsetHead, RegularOffsetHead,
+                                      offset_channels)
+from repro.deform.offsets import OffsetPolicy
+
+
+class DeformConv2d(Module):
+    """Deformable convolution layer with DEFCON's optimisation knobs.
+
+    Parameters
+    ----------
+    lightweight:
+        Use the depthwise+pointwise offset head (83.3 % fewer offset MACs).
+    bound:
+        Deformation bound P (None = unbounded, paper's ∞ column in Fig. 5).
+    rounded:
+        Round offsets to integers (ablation only — hurts accuracy).
+    modulated:
+        DCNv2-style per-tap modulation mask (sigmoid-gated).
+    """
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 kernel_size: int = 3, stride: int = 1, padding: int = 1,
+                 dilation: int = 1, deformable_groups: int = 1,
+                 bias: bool = True, lightweight: bool = False,
+                 bound: Optional[float] = None, rounded: bool = False,
+                 modulated: bool = False, offset_grad_scale: float = 0.1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.dilation = dilation
+        self.deformable_groups = deformable_groups
+        self.lightweight = lightweight
+        self.modulated = modulated
+        #: offsets learn slower than features (Dai et al.'s 0.1 lr-mult)
+        self.offset_grad_scale = offset_grad_scale
+        self.policy = OffsetPolicy(bound=bound, rounded=rounded)
+
+        head_cls = LightweightOffsetHead if lightweight else RegularOffsetHead
+        self.offset_head = head_cls(in_channels, kernel_size, stride=stride,
+                                    deformable_groups=deformable_groups,
+                                    rng=rng)
+        if modulated:
+            k2 = kernel_size * kernel_size
+            self.mask_head = Conv2d(in_channels, deformable_groups * k2, 3,
+                                    stride=stride, padding=1, rng=rng)
+            self.mask_head.weight = Parameter(
+                init.zeros(self.mask_head.weight.shape))
+        else:
+            self.mask_head = None
+
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_normal(rng, shape))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+        self.last_offsets = None  # Tensor set on every forward
+        #: set by :class:`repro.pipeline.engine.DefconEngine` to execute
+        #: this layer through a simulated GPU kernel backend at inference
+        self.texture_runtime = None
+
+    def forward(self, x):
+        raw = self.offset_head(x)
+        if self.offset_grad_scale != 1.0:
+            from repro.tensor.tensor import grad_scale
+
+            raw = grad_scale(raw, self.offset_grad_scale)
+        offsets = self.policy(raw)
+        self.last_offsets = offsets
+        mask = None
+        if self.mask_head is not None:
+            # 2*sigmoid keeps the expected modulation at 1 (DCNv2 init trick).
+            mask = self.mask_head(x).sigmoid() * 2.0
+        if self.texture_runtime is not None:
+            from repro.tensor import is_grad_enabled
+
+            if not is_grad_enabled():
+                if mask is not None:
+                    raise NotImplementedError(
+                        "modulated DCN has no texture-kernel backend")
+                return self.texture_runtime.execute(self, x, offsets)
+        return deform_conv2d(x, offsets, self.weight, self.bias,
+                             stride=self.stride, padding=self.padding,
+                             dilation=self.dilation,
+                             deformable_groups=self.deformable_groups,
+                             mask=mask)
+
+    # ------------------------------------------------------------------
+    def output_shape(self, h: int, w: int) -> tuple:
+        return (
+            self.out_channels,
+            conv_output_size(h, self.kernel_size, self.stride, self.padding,
+                             self.dilation),
+            conv_output_size(w, self.kernel_size, self.stride, self.padding,
+                             self.dilation),
+        )
+
+    def macs(self, h: int, w: int) -> int:
+        """Total MACs: offset head + main deformable conv (+ mask head)."""
+        _, oh, ow = self.output_shape(h, w)
+        main = self.out_channels * oh * ow * self.in_channels * self.kernel_size**2
+        total = main + self.offset_head.macs(h, w)
+        if self.mask_head is not None:
+            total += self.mask_head.macs(h, w)
+        return total
+
+    def __repr__(self) -> str:
+        bits = [f"{self.in_channels}, {self.out_channels}",
+                f"k={self.kernel_size}", f"s={self.stride}"]
+        if self.lightweight:
+            bits.append("light")
+        if self.policy.bound is not None:
+            bits.append(f"bound={self.policy.bound}")
+        if self.policy.rounded:
+            bits.append("rounded")
+        if self.modulated:
+            bits.append("modulated")
+        return f"DeformConv2d({', '.join(bits)})"

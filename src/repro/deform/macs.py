@@ -1,0 +1,86 @@
+"""MAC / FLOP accounting for deformable layers (paper Eq. 9 and Fig. 10).
+
+Separates the three cost components the paper reasons about:
+
+* offset-head MACs (regular vs lightweight — Eq. 9),
+* main-convolution MACs (identical for regular conv and DCN),
+* interpolation FLOPs (4 multiplies + 3 adds per tap in software; ~0 when
+  the texture unit interpolates — the ≈4× MFLOP drop in Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeformMacBreakdown:
+    """Per-inference cost of one deformable layer."""
+
+    offset_macs: int
+    main_macs: int
+    interp_flops: int
+
+    @property
+    def total_macs(self) -> int:
+        return self.offset_macs + self.main_macs
+
+    @property
+    def total_flops(self) -> int:
+        # 1 MAC = 2 FLOPs, plus the explicit interpolation arithmetic.
+        return 2 * self.total_macs + self.interp_flops
+
+
+def regular_offset_macs(c_in: int, out_h: int, out_w: int, k: int,
+                        deformable_groups: int = 1) -> int:
+    """MACs of the regular 3×3 offset conv: ``L · 9 · C · 2·dg·k²``."""
+    return out_h * out_w * 9 * c_in * 2 * deformable_groups * k * k
+
+
+def lightweight_offset_macs(c_in: int, out_h: int, out_w: int, k: int,
+                            deformable_groups: int = 1) -> int:
+    """MACs of depthwise 3×3 + pointwise 1×1: ``L·9·C + L·C·2·dg·k²``."""
+    l = out_h * out_w
+    return l * 9 * c_in + l * c_in * 2 * deformable_groups * k * k
+
+
+def main_conv_macs(c_in: int, c_out: int, out_h: int, out_w: int, k: int) -> int:
+    return out_h * out_w * c_out * c_in * k * k
+
+
+def software_interp_flops(c_in: int, out_h: int, out_w: int, k: int,
+                          boundary_fraction: float = 0.0) -> int:
+    """FLOPs of software bilinear interpolation: 7 per tap per channel.
+
+    ``boundary_fraction`` discounts taps whose four neighbours are all out
+    of bounds (the paper notes the MFLOP ratio is "not exactly four" because
+    boundary pixels are substituted as zero and not computed).
+    """
+    taps = out_h * out_w * k * k * c_in
+    return int(7 * taps * (1.0 - boundary_fraction))
+
+
+def eq9_reduction(k: int = 3) -> float:
+    """Closed-form Eq. 9 MAC reduction of the lightweight head.
+
+    ``1 − (9·C·L + C·L·2k²) / (9·C·L·2k²)`` — independent of C, H, W.
+    """
+    return 1.0 - (9 + 2 * k * k) / (9 * 2 * k * k)
+
+
+def breakdown(c_in: int, c_out: int, out_h: int, out_w: int, k: int = 3,
+              lightweight: bool = False, texture_interp: bool = False,
+              deformable_groups: int = 1,
+              boundary_fraction: float = 0.0) -> DeformMacBreakdown:
+    """Full cost breakdown for one configuration of the deformable layer."""
+    if lightweight:
+        off = lightweight_offset_macs(c_in, out_h, out_w, k, deformable_groups)
+    else:
+        off = regular_offset_macs(c_in, out_h, out_w, k, deformable_groups)
+    interp = 0 if texture_interp else software_interp_flops(
+        c_in, out_h, out_w, k, boundary_fraction)
+    return DeformMacBreakdown(
+        offset_macs=off,
+        main_macs=main_conv_macs(c_in, c_out, out_h, out_w, k),
+        interp_flops=interp,
+    )

@@ -1,0 +1,85 @@
+"""Offset post-processing policies (paper Section III-A-c and Table V).
+
+Three policies act on the raw offsets predicted by the offset head before
+they reach the deformable kernel:
+
+* **bounded** — clamp offsets so the receptive field stays within a
+  ``P``-neighbourhood (paper Fig. 5 selects P = 7).  Hardware-friendly:
+  bounded displacement preserves spatial locality of the input accesses.
+* **rounded** — snap offsets to integers so bilinear interpolation can be
+  skipped entirely (the FPGA trick of [28], [29]); the paper's Table V shows
+  this costs ~1 mAP, which our ablation bench reproduces in shape.
+* **regularized** — no hard clamp at inference, but a training-time penalty
+  pushes offsets inside the bound (Table V row 2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.tensor import Tensor, backward_op
+
+#: Paper Fig. 5: bounds above 7 give negligible accuracy gains, so 7 is the
+#: recommended deformation bound for 3x3 deformable kernels.
+DEFAULT_BOUND = 7.0
+
+
+def bound_offsets(offset: Tensor, p: float, symmetric: bool = True) -> Tensor:
+    """Clamp offsets to the deformation bound.
+
+    The paper writes the restriction as ``[0, P]`` in terms of the offset
+    *magnitude* allowed by the hardware accelerator; since offsets are
+    signed displacements, the default clamps each component to ``[-P, P]``
+    (``symmetric=True``).  ``symmetric=False`` gives the literal ``[0, P]``
+    variant for comparison.
+    """
+    if p <= 0:
+        raise ValueError(f"bound P must be positive, got {p}")
+    lo = -p if symmetric else 0.0
+    return offset.clamp(lo, p)
+
+
+def round_offsets(offset: Tensor) -> Tensor:
+    """Round offsets to the nearest integer with a straight-through gradient.
+
+    Rounding removes the fractional part so no interpolation is needed, but
+    is non-differentiable; the straight-through estimator (identity
+    gradient) is what lets the Table V "Round" configuration still train.
+    """
+    out = np.rint(offset.data).astype(np.float32)
+    return backward_op(out, (offset,), lambda g: (g,), "round_offsets")
+
+
+def offset_regularization(offset: Tensor, p: float = DEFAULT_BOUND) -> Tensor:
+    """Penalty for offsets escaping the bound: ``mean(relu(|o| - P)^2)``.
+
+    Added to the task loss when training the "Regularization" row of
+    Table V — a soft alternative to the hard clamp.
+    """
+    excess = (offset.abs() - p).relu()
+    return (excess * excess).mean()
+
+
+class OffsetPolicy:
+    """Bundles the bounded/rounded choices into one configurable transform."""
+
+    def __init__(self, bound: Optional[float] = None, rounded: bool = False,
+                 symmetric: bool = True):
+        if bound is not None and bound <= 0:
+            raise ValueError("bound must be positive or None")
+        self.bound = bound
+        self.rounded = rounded
+        self.symmetric = symmetric
+
+    def __call__(self, offset: Tensor) -> Tensor:
+        if self.bound is not None:
+            offset = bound_offsets(offset, self.bound, self.symmetric)
+        if self.rounded:
+            offset = round_offsets(offset)
+        return offset
+
+    def __repr__(self) -> str:
+        return (f"OffsetPolicy(bound={self.bound}, rounded={self.rounded}, "
+                f"symmetric={self.symmetric})")

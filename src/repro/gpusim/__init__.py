@@ -1,0 +1,41 @@
+"""GPU performance/functional simulator substrate.
+
+Stands in for the NVIDIA Jetson AGX Xavier and RTX 2080 Ti hardware of the
+paper: texture units with fixed-point bilinear filtering
+(:mod:`~repro.gpusim.texture`), a sector-level global-memory coalescing
+model (:mod:`~repro.gpusim.memory`), a block-linear texture cache
+(:mod:`~repro.gpusim.cache`), a roofline latency model with occupancy and
+wave effects (:mod:`~repro.gpusim.kernel`) and nvprof-style counters
+(:mod:`~repro.gpusim.profiler`).
+"""
+
+from repro.gpusim.device import (DEVICES, ORIN, RTX_2080TI, RTX_3090,
+                                 XAVIER, DeviceSpec, get_device)
+from repro.gpusim.memory import (CoalescingStats, coalescing_stats,
+                                 dram_time_ms, strided_stats)
+from repro.gpusim.texture import (FIXED_POINT_FRACTION_BITS, LayeredTexture2D,
+                                  TextureDescriptor, fits_texture_limits,
+                                  quantize_fraction, texture_footprint_bytes)
+from repro.gpusim.cache import TextureCacheModel, TextureCacheStats
+from repro.gpusim.mipmap import MipmappedTexture2D, downsample_2x2
+from repro.gpusim.kernel import (KernelCost, LaunchConfig, estimate_time_ms,
+                                 gemm_cost, merge_costs, occupancy,
+                                 stats_from_cost, wave_efficiency)
+from repro.gpusim.profiler import KernelStats, ProfileLog
+from repro.gpusim.trace import (SamplePlan, deform_input_coalescing,
+                                texture_fetch_trace)
+
+__all__ = [
+    "DeviceSpec", "XAVIER", "RTX_2080TI", "ORIN", "RTX_3090",
+    "DEVICES", "get_device",
+    "CoalescingStats", "coalescing_stats", "strided_stats", "dram_time_ms",
+    "LayeredTexture2D", "TextureDescriptor", "quantize_fraction",
+    "FIXED_POINT_FRACTION_BITS", "texture_footprint_bytes",
+    "fits_texture_limits",
+    "TextureCacheModel", "TextureCacheStats",
+    "MipmappedTexture2D", "downsample_2x2",
+    "LaunchConfig", "KernelCost", "estimate_time_ms", "gemm_cost",
+    "merge_costs", "occupancy", "wave_efficiency", "stats_from_cost",
+    "KernelStats", "ProfileLog",
+    "SamplePlan", "deform_input_coalescing", "texture_fetch_trace",
+]

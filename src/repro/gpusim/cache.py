@@ -1,0 +1,140 @@
+"""Texture-cache model with a block-linear (2-D tiled) line layout.
+
+GPU texture caches differ from ordinary data caches in two ways the paper's
+optimisation exploits:
+
+1. texels are stored *block-linear*: one cache line covers a small 2-D tile
+   of texels, so spatially close fetches — even with fractional, irregular
+   offsets — hit the same line;
+2. the cache is optimised for streaming: per-CTA working sets are small and
+   reuse is dominated by intra-tile locality.
+
+The model is trace-driven but CTA-granular for speed: fetched texel
+coordinates are mapped to line IDs, grouped by the CTA (output tile) that
+issued them, and each CTA's misses are its unique lines — plus a thrashing
+term when a CTA's working set exceeds the per-SM capacity share.  This is
+what produces the tile-size sensitivity of paper Fig. 8: tiny tiles re-fetch
+halo texels across CTAs, oversized tiles overflow the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class TextureCacheStats:
+    """Aggregate results of a cache simulation."""
+
+    requests: int          # bilinear fetch instructions (quads)
+    texel_reads: int       # corner texels touched (≤ 4 per request)
+    hits: int              # texel reads served by the cache
+    misses: int            # line fills
+    miss_bytes: float      # DRAM traffic caused by fills
+
+    @property
+    def hit_rate(self) -> float:
+        if self.texel_reads == 0:
+            return 0.0
+        return 100.0 * self.hits / self.texel_reads
+
+    def scaled(self, factor: float) -> "TextureCacheStats":
+        return TextureCacheStats(
+            requests=int(round(self.requests * factor)),
+            texel_reads=int(round(self.texel_reads * factor)),
+            hits=int(round(self.hits * factor)),
+            misses=int(round(self.misses * factor)),
+            miss_bytes=self.miss_bytes * factor,
+        )
+
+
+class TextureCacheModel:
+    """CTA-granular texture cache simulation.
+
+    Parameters
+    ----------
+    spec:
+        Device description (cache capacity, line size, line tile shape).
+    concurrent_layers:
+        How many texture layers (feature-map channels) stream through one
+        SM's cache concurrently; the per-CTA capacity share divides by it.
+        The deformable kernels iterate channels of one deformable group in
+        the inner loop, so a handful of layers are simultaneously live.
+    """
+
+    def __init__(self, spec: DeviceSpec, concurrent_layers: int = 4):
+        self.spec = spec
+        self.concurrent_layers = max(1, concurrent_layers)
+        self.line_bytes = spec.tex_cache_line_bytes
+        self.line_th, self.line_tw = spec.tex_line_tile
+        capacity_bytes = spec.tex_cache_kb_per_sm * 1024
+        self.capacity_lines = max(
+            1, capacity_bytes // self.line_bytes // self.concurrent_layers)
+
+    # ------------------------------------------------------------------
+    def line_ids(self, y: np.ndarray, x: np.ndarray, tex_w: int) -> np.ndarray:
+        """Map texel coordinates to block-linear line IDs."""
+        lines_per_row = -(-tex_w // self.line_tw)  # ceil
+        return (y // self.line_th) * lines_per_row + (x // self.line_tw)
+
+    def simulate(self, y: np.ndarray, x: np.ndarray, cta_ids: np.ndarray,
+                 tex_h: int, tex_w: int, corners: bool = True
+                 ) -> TextureCacheStats:
+        """Simulate a fetch trace for one texture layer.
+
+        ``y``/``x``: int arrays of fetch positions (top-left corner of the
+        bilinear quad when ``corners=True``); ``cta_ids``: the CTA each fetch
+        belongs to.  Out-of-bounds corners are dropped (border texels are not
+        read from memory — the paper notes boundary pixels are substituted
+        as zero, not fetched).
+        """
+        y = np.asarray(y, dtype=np.int64).ravel()
+        x = np.asarray(x, dtype=np.int64).ravel()
+        cta = np.asarray(cta_ids, dtype=np.int64).ravel()
+        if not (y.size == x.size == cta.size):
+            raise ValueError("y, x, cta_ids must have equal length")
+        requests = y.size
+        if corners:
+            # Expand each bilinear fetch to its (up to) four corner texels.
+            y4 = np.concatenate([y, y, y + 1, y + 1])
+            x4 = np.concatenate([x, x + 1, x, x + 1])
+            cta4 = np.concatenate([cta] * 4)
+        else:
+            y4, x4, cta4 = y, x, cta
+        valid = (y4 >= 0) & (y4 < tex_h) & (x4 >= 0) & (x4 < tex_w)
+        y4, x4, cta4 = y4[valid], x4[valid], cta4[valid]
+        texel_reads = int(y4.size)
+        if texel_reads == 0:
+            return TextureCacheStats(requests, 0, 0, 0, 0.0)
+
+        lines = self.line_ids(y4, x4, tex_w)
+        # Unique (cta, line) pairs = compulsory misses per CTA.
+        key = cta4 * (lines.max() + 1) + lines
+        uniq_keys, first_idx = np.unique(key, return_index=True)
+        unique_pairs = uniq_keys.size
+        # Per-CTA access and unique-line counts for the thrashing correction.
+        cta_sorted = np.sort(cta4)
+        cta_vals, accesses_per_cta = np.unique(cta_sorted, return_counts=True)
+        uniq_cta_of_pairs = cta4[first_idx]
+        _, uniq_lines_per_cta = np.unique(np.sort(uniq_cta_of_pairs),
+                                          return_counts=True)
+        # Thrash: when a CTA's working set exceeds its capacity share, the
+        # overflowing fraction of its re-accesses also misses.
+        cap = self.capacity_lines
+        reaccesses = accesses_per_cta - uniq_lines_per_cta
+        overflow = np.maximum(0.0, 1.0 - cap / np.maximum(uniq_lines_per_cta, 1))
+        thrash = (reaccesses * overflow).sum()
+        misses = int(unique_pairs + round(float(thrash)))
+        misses = min(misses, texel_reads)
+        hits = texel_reads - misses
+        return TextureCacheStats(
+            requests=requests,
+            texel_reads=texel_reads,
+            hits=hits,
+            misses=misses,
+            miss_bytes=float(misses * self.line_bytes),
+        )

@@ -1,0 +1,159 @@
+"""Kernel launch / occupancy / latency model.
+
+The latency estimate is a three-resource roofline with imperfect overlap:
+
+``time = launch + max(T_compute, T_dram, T_tex) + (1 − overlap)·(sum − max)``
+
+* ``T_compute`` — FLOPs against the SM FP32 pipes, derated by achieved
+  occupancy (latency hiding fails below ~50 % occupancy);
+* ``T_dram``   — all DRAM traffic (coalesced transactions + texture misses
+  + output stores) against achievable bandwidth;
+* ``T_tex``    — filtered texel fetches against the texture units' quad
+  throughput (the resource the tex2D kernels lean on instead of FLOPs).
+
+Wave quantisation (the tail wave of CTAs underfilling the SMs) is also
+modelled — it is what punishes badly chosen tile sizes in paper Fig. 8
+even when cache behaviour is fine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.profiler import KernelStats
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """A CUDA-style launch: number of CTAs and threads per CTA."""
+
+    grid: int
+    block: int
+
+    def __post_init__(self):
+        if self.grid <= 0 or self.block <= 0:
+            raise ValueError("grid and block must be positive")
+
+
+def occupancy(launch: LaunchConfig, spec: DeviceSpec) -> float:
+    """Achieved occupancy: resident threads / max threads per SM."""
+    if launch.block > spec.max_threads_per_block:
+        raise ValueError(
+            f"block of {launch.block} exceeds device max "
+            f"{spec.max_threads_per_block}")
+    # Round the block to warp granularity (hardware allocates whole warps).
+    warps_per_block = -(-launch.block // spec.warp_size)
+    alloc_threads = warps_per_block * spec.warp_size
+    blocks_by_threads = spec.max_threads_per_sm // alloc_threads
+    resident_blocks = min(blocks_by_threads, spec.max_blocks_per_sm)
+    if resident_blocks == 0:
+        return 0.0
+    resident_threads = resident_blocks * alloc_threads
+    return min(1.0, resident_threads / spec.max_threads_per_sm)
+
+
+def wave_efficiency(launch: LaunchConfig, spec: DeviceSpec) -> float:
+    """Utilisation loss from the final partial wave of CTAs."""
+    warps_per_block = -(-launch.block // spec.warp_size)
+    alloc_threads = warps_per_block * spec.warp_size
+    blocks_per_sm = max(1, min(spec.max_threads_per_sm // alloc_threads,
+                               spec.max_blocks_per_sm))
+    blocks_per_wave = blocks_per_sm * spec.num_sms
+    waves = launch.grid / blocks_per_wave
+    full_waves = int(waves)
+    frac = waves - full_waves
+    if waves <= 0:
+        return 1.0
+    if frac == 0:
+        return 1.0
+    # The tail wave takes a full wave's time but does `frac` of the work.
+    return waves / (full_waves + 1)
+
+
+@dataclass
+class KernelCost:
+    """Resource totals for one launch, fed to :func:`estimate_time_ms`."""
+
+    flops: float = 0.0
+    dram_bytes: float = 0.0
+    #: sector traffic absorbed by the L2 (scattered-gather over-fetch);
+    #: costed against the L2 bandwidth, not DRAM.
+    l2_bytes: float = 0.0
+    tex_fetches: float = 0.0
+    #: rate divisor for the texture fetches (4 for fp32 bilinear filtering)
+    tex_rate_divisor: float = 1.0
+    #: per-CTA fixed setup cost (index math, descriptor loads, sync) —
+    #: what makes very small tiles expensive in paper Fig. 8
+    cta_prologue_cycles: float = 0.0
+    #: fraction of peak FLOP throughput this kernel's inner loop can reach
+    #: (GEMM ≈ 0.75; scalar gather/interpolate code ≈ 0.25)
+    compute_efficiency: float = 0.6
+
+
+def estimate_time_ms(cost: KernelCost, launch: LaunchConfig,
+                     spec: DeviceSpec) -> float:
+    """Latency of one kernel launch under the overlap roofline."""
+    occ = occupancy(launch, spec)
+    wave = wave_efficiency(launch, spec)
+    # Below ~50% occupancy, latency hiding degrades roughly linearly.
+    lat_hide = min(1.0, occ / 0.5)
+    util = max(1e-3, lat_hide * wave)
+
+    t_compute = cost.flops / (
+        spec.peak_gflops * 1e9 * cost.compute_efficiency * util) * 1e3
+    t_dram = cost.dram_bytes / (spec.effective_dram_gbps * 1e9) * 1e3
+    t_l2 = cost.l2_bytes / (
+        spec.effective_dram_gbps * spec.l2_bandwidth_ratio * 1e9) * 1e3
+    t_tex = cost.tex_fetches * cost.tex_rate_divisor / (
+        spec.peak_tex_gtexels * 1e9 * max(util, 0.25)) * 1e3
+
+    parts = sorted((t_compute, max(t_dram, t_l2), t_tex))
+    dominant = parts[-1]
+    hidden = parts[0] + parts[1]
+    # CTA prologues serialise per SM (they cannot overlap with the block's
+    # own work): grid/num_sms blocks each pay the fixed setup cycles.
+    t_prologue = (launch.grid / spec.num_sms * cost.cta_prologue_cycles
+                  / (spec.core_clock_ghz * 1e9) * 1e3)
+    return (spec.kernel_launch_overhead_us / 1e3 + t_prologue
+            + dominant + (1.0 - spec.overlap) * hidden)
+
+
+def gemm_cost(m: int, n: int, k: int, dtype_bytes: int = 4,
+              efficiency: float = 0.75) -> KernelCost:
+    """Cost of a C = A·B GEMM (the filter-times-columns step of im2col conv).
+
+    Traffic assumes a tiled implementation streaming each operand roughly
+    once (cuBLAS-like), which is accurate for the fat matrices conv
+    produces.
+    """
+    flops = 2.0 * m * n * k
+    bytes_moved = dtype_bytes * (m * k + k * n + m * n)
+    return KernelCost(flops=flops, dram_bytes=bytes_moved,
+                      compute_efficiency=efficiency)
+
+
+def merge_costs(*costs: KernelCost) -> KernelCost:
+    """Sum resource totals (efficiency weighted by FLOP share)."""
+    total = KernelCost()
+    flops = sum(c.flops for c in costs)
+    total.flops = flops
+    total.dram_bytes = sum(c.dram_bytes for c in costs)
+    total.tex_fetches = sum(c.tex_fetches for c in costs)
+    if flops > 0:
+        total.compute_efficiency = sum(
+            c.compute_efficiency * c.flops for c in costs) / flops
+    return total
+
+
+def stats_from_cost(name: str, cost: KernelCost, launch: LaunchConfig,
+                    spec: DeviceSpec) -> KernelStats:
+    """Convenience: wrap a cost estimate into a KernelStats record."""
+    return KernelStats(
+        name=name,
+        duration_ms=estimate_time_ms(cost, launch, spec),
+        flop_count_sp=cost.flops,
+        dram_read_bytes=cost.dram_bytes,
+    )

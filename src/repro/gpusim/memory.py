@@ -1,0 +1,138 @@
+"""Global-memory coalescing model.
+
+NVIDIA GPUs service a warp's load instruction by fetching the set of unique
+32-byte *sectors* its 32 lanes touch.  A fully coalesced float32 load (32
+consecutive words) needs 4 sectors; a pathological gather can need 32.  The
+ratio useful/transferred bytes is nvprof's ``gld_efficiency`` and the
+sectors-per-request ratio is ``gld_transactions_per_request`` — both shown
+in the paper's Fig. 10.
+
+`coalescing_stats` computes exact counters from a warp-shaped address
+array; `strided_stats` is the closed form for regular streams (used for
+offset/weight/output traffic, which is unit-stride).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class CoalescingStats:
+    """Counter bundle for a batch of warp load requests."""
+
+    requests: int
+    transactions: int
+    bytes_requested: float
+    bytes_transferred: float
+
+    @property
+    def transactions_per_request(self) -> float:
+        return self.transactions / self.requests if self.requests else 0.0
+
+    @property
+    def efficiency(self) -> float:
+        if self.bytes_transferred == 0:
+            return 100.0
+        return min(100.0, 100.0 * self.bytes_requested / self.bytes_transferred)
+
+    def scaled(self, factor: float) -> "CoalescingStats":
+        """Scale all counters (used when a sampled trace represents more warps)."""
+        return CoalescingStats(
+            requests=int(round(self.requests * factor)),
+            transactions=int(round(self.transactions * factor)),
+            bytes_requested=self.bytes_requested * factor,
+            bytes_transferred=self.bytes_transferred * factor,
+        )
+
+    def merged(self, other: "CoalescingStats") -> "CoalescingStats":
+        return CoalescingStats(
+            requests=self.requests + other.requests,
+            transactions=self.transactions + other.transactions,
+            bytes_requested=self.bytes_requested + other.bytes_requested,
+            bytes_transferred=self.bytes_transferred + other.bytes_transferred,
+        )
+
+
+EMPTY_COALESCING = CoalescingStats(0, 0, 0.0, 0.0)
+
+
+def coalescing_stats(byte_addresses: np.ndarray, access_bytes: int,
+                     spec: DeviceSpec,
+                     active_mask: np.ndarray = None) -> CoalescingStats:
+    """Exact sector counting for warp-shaped address arrays.
+
+    ``byte_addresses``: (num_warps, warp_size) int64 byte addresses, one per
+    lane.  ``access_bytes``: access width per lane (4 for float32).
+    ``active_mask``: optional bool array of the same shape; inactive lanes
+    (predicated off, e.g. out-of-bounds zero-substitution) issue no traffic.
+    """
+    addr = np.asarray(byte_addresses, dtype=np.int64)
+    if addr.ndim != 2 or addr.shape[1] != spec.warp_size:
+        raise ValueError(
+            f"addresses must be (warps, {spec.warp_size}), got {addr.shape}")
+    sector = spec.sector_bytes
+    num_warps = addr.shape[0]
+    # Each lane access may straddle a sector boundary only if access_bytes
+    # doesn't divide the sector; our accesses are 2/4/8-byte aligned so one
+    # sector per lane access suffices.
+    sectors = addr // sector
+    if active_mask is not None:
+        active_mask = np.asarray(active_mask, dtype=bool)
+        # Route inactive lanes to their warp-leader's sector so they add no
+        # unique sectors (and no requested bytes).
+        leader = sectors[:, :1]
+        sectors = np.where(active_mask, sectors, leader)
+        active_lanes = int(active_mask.sum())
+        warp_has_active = active_mask.any(axis=1)
+    else:
+        active_lanes = addr.size
+        warp_has_active = np.ones(num_warps, dtype=bool)
+
+    # Unique sectors per warp, vectorised: sort each row, count changes.
+    s_sorted = np.sort(sectors, axis=1)
+    changes = (s_sorted[:, 1:] != s_sorted[:, :-1]).sum(axis=1) + 1
+    changes = np.where(warp_has_active, changes, 0)
+    requests = int(warp_has_active.sum())
+    transactions = int(changes.sum())
+    return CoalescingStats(
+        requests=requests,
+        transactions=transactions,
+        bytes_requested=float(active_lanes * access_bytes),
+        bytes_transferred=float(transactions * sector),
+    )
+
+
+def strided_stats(num_elements: int, access_bytes: int, spec: DeviceSpec,
+                  stride_elements: int = 1) -> CoalescingStats:
+    """Closed-form coalescing counters for a regular strided stream.
+
+    ``stride_elements=1`` is the perfectly coalesced case (offset loads,
+    output stores, GEMM operand streaming).
+    """
+    if num_elements == 0:
+        return EMPTY_COALESCING
+    warp = spec.warp_size
+    sector = spec.sector_bytes
+    requests = int(np.ceil(num_elements / warp))
+    span = warp * stride_elements * access_bytes  # bytes touched per warp
+    sectors_per_request = max(1, int(np.ceil(min(span, warp * sector) / sector)))
+    if stride_elements * access_bytes >= sector:
+        # Every lane lands in its own sector.
+        sectors_per_request = warp
+    transactions = requests * sectors_per_request
+    return CoalescingStats(
+        requests=requests,
+        transactions=transactions,
+        bytes_requested=float(num_elements * access_bytes),
+        bytes_transferred=float(transactions * sector),
+    )
+
+
+def dram_time_ms(bytes_moved: float, spec: DeviceSpec) -> float:
+    """Time to move ``bytes_moved`` at the achievable DRAM bandwidth."""
+    return bytes_moved / (spec.effective_dram_gbps * 1e9) * 1e3

@@ -1,0 +1,93 @@
+"""Mipmapped arrays — the texture storage the paper considers and rejects.
+
+Section III-B discusses two layered storage options: 2-D layered textures
+(chosen) and mipmapped arrays (rejected).  A mipmap is a pre-computed
+pyramid of progressively half-resolution images; each level is built from
+the previous one, and fetches sample one (or two, with trilinear
+filtering) levels.  For deformable convolution this is the wrong
+construct: the offsets address the *full-resolution* feature map, and any
+fetch served from level ℓ > 0 returns a low-pass-filtered value — exactly
+the resolution loss the paper avoids.
+
+The model exists so that the design choice is executable, not just
+asserted: tests demonstrate that level-0 fetches match the layered
+texture, that higher levels lose high-frequency content, and that the
+pyramid build cost (the "each layer must be loaded and computed using the
+previous layer" overhead the paper cites) is real and counted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.gpusim.texture import LayeredTexture2D, TextureDescriptor
+
+
+def downsample_2x2(img: np.ndarray) -> np.ndarray:
+    """One mip level: 2×2 box filter (the standard mip chain build)."""
+    h, w = img.shape[-2:]
+    h2, w2 = max(1, h // 2), max(1, w // 2)
+    trimmed = img[..., : h2 * 2, : w2 * 2]
+    return trimmed.reshape(*img.shape[:-2], h2, 2, w2, 2).mean(axis=(-3, -1))
+
+
+class MipmappedTexture2D:
+    """A mip pyramid over a single-layer 2-D texture."""
+
+    def __init__(self, data: np.ndarray, levels: int = None,
+                 desc: TextureDescriptor = None):
+        data = np.asarray(data, dtype=np.float32)
+        if data.ndim != 2:
+            raise ValueError("mipmapped texture expects a single 2-D image")
+        max_levels = int(np.floor(np.log2(max(1, min(data.shape))))) + 1
+        levels = max_levels if levels is None else min(levels, max_levels)
+        if levels < 1:
+            raise ValueError("need at least one mip level")
+        self.levels: List[np.ndarray] = [data]
+        #: FLOPs spent building the pyramid — the paper's objection that
+        #: "each layer must be loaded and computed using the previous layer"
+        self.build_flops = 0
+        for _ in range(levels - 1):
+            nxt = downsample_2x2(self.levels[-1])
+            # 4 reads + 3 adds + 1 mul per output texel
+            self.build_flops += int(4 * nxt.size)
+            self.levels.append(nxt.astype(np.float32))
+        self.desc = desc if desc is not None else TextureDescriptor()
+        self._level_textures = [LayeredTexture2D(lvl[None], desc=self.desc)
+                                for lvl in self.levels]
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    def extent(self, level: int) -> Tuple[int, int]:
+        return self.levels[level].shape
+
+    def fetch_level(self, level: int, py: np.ndarray, px: np.ndarray
+                    ) -> np.ndarray:
+        """``tex2DLod`` — fetch from one explicit mip level.
+
+        Coordinates are in level-0 pixel space and are scaled down to the
+        selected level (which is what loses resolution for ℓ > 0).
+        """
+        if not 0 <= level < self.num_levels:
+            raise ValueError(f"level {level} outside [0, {self.num_levels})")
+        scale = 2.0 ** level
+        zeros = np.zeros_like(np.asarray(py, dtype=np.int64))
+        return self._level_textures[level].fetch_at_pixel_coords(
+            zeros, (np.asarray(py, dtype=np.float32) + 0.5) / scale - 0.5,
+            (np.asarray(px, dtype=np.float32) + 0.5) / scale - 0.5)
+
+    def fetch_trilinear(self, py: np.ndarray, px: np.ndarray,
+                        lod: float) -> np.ndarray:
+        """Trilinear filtering: blend the two mip levels around ``lod``."""
+        lod = float(np.clip(lod, 0.0, self.num_levels - 1))
+        lo = int(np.floor(lod))
+        hi = min(lo + 1, self.num_levels - 1)
+        frac = lod - lo
+        v_lo = self.fetch_level(lo, py, px)
+        if hi == lo or frac == 0.0:
+            return v_lo
+        return (1.0 - frac) * v_lo + frac * self.fetch_level(hi, py, px)

@@ -1,0 +1,111 @@
+"""nvprof-style counters (paper Fig. 10).
+
+`KernelStats` carries the metrics the paper inspects:
+
+* ``flop_count_sp`` → the MFLOP bars (≈4× lower for tex2D because the
+  interpolation arithmetic moves into the texture unit);
+* ``gld_efficiency`` / ``gld_transactions_per_request`` → coalescing quality
+  (100 % for the texture kernels: their only global loads are the coalesced
+  offset/output streams);
+* ``tex_cache_requests`` / ``tex_cache_hit_rate`` → texture path utilisation
+  (zero for the PyTorch baseline, which never touches the texture units).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, List
+
+
+@dataclass
+class KernelStats:
+    """Counters for one simulated kernel launch."""
+
+    name: str = ""
+    duration_ms: float = 0.0
+    flop_count_sp: float = 0.0
+    #: global load requests (one per warp-level load instruction)
+    gld_requests: float = 0.0
+    #: 32-byte sectors actually transferred for those requests
+    gld_transactions: float = 0.0
+    #: bytes the program asked for (useful bytes)
+    gld_bytes_requested: float = 0.0
+    tex_cache_requests: float = 0.0
+    #: corner texel reads behind those requests (≤ 4 per bilinear request)
+    tex_texel_reads: float = 0.0
+    tex_cache_hits: float = 0.0
+    dram_read_bytes: float = 0.0
+    dram_write_bytes: float = 0.0
+
+    @property
+    def mflop(self) -> float:
+        return self.flop_count_sp / 1e6
+
+    @property
+    def gld_transactions_per_request(self) -> float:
+        if self.gld_requests == 0:
+            return 0.0
+        return self.gld_transactions / self.gld_requests
+
+    @property
+    def gld_efficiency(self) -> float:
+        """Requested bytes / transferred bytes, as a percentage (nvprof)."""
+        moved = self.gld_transactions * 32.0
+        if moved == 0:
+            return 100.0
+        return min(100.0, 100.0 * self.gld_bytes_requested / moved)
+
+    @property
+    def tex_cache_hit_rate(self) -> float:
+        if self.tex_texel_reads == 0:
+            return 0.0
+        return 100.0 * self.tex_cache_hits / self.tex_texel_reads
+
+    def merged(self, other: "KernelStats") -> "KernelStats":
+        """Counter-wise sum (durations add; ratios recomputed on demand)."""
+        out = KernelStats(name=self.name or other.name)
+        for f in fields(KernelStats):
+            if f.name == "name":
+                continue
+            setattr(out, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return out
+
+
+@dataclass
+class ProfileLog:
+    """Accumulates per-kernel stats across a model inference (nvprof trace)."""
+
+    records: List[KernelStats] = field(default_factory=list)
+
+    def add(self, stats: KernelStats) -> None:
+        self.records.append(stats)
+
+    @property
+    def total_ms(self) -> float:
+        return sum(r.duration_ms for r in self.records)
+
+    def by_name(self) -> Dict[str, KernelStats]:
+        """Aggregate counters per kernel name."""
+        agg: Dict[str, KernelStats] = {}
+        for r in self.records:
+            if r.name in agg:
+                agg[r.name] = agg[r.name].merged(r)
+            else:
+                agg[r.name] = r
+        return agg
+
+    def summary_rows(self) -> List[dict]:
+        """nvprof-like table: one dict per kernel name."""
+        rows = []
+        for name, s in sorted(self.by_name().items()):
+            rows.append({
+                "kernel": name,
+                "time_ms": round(s.duration_ms, 4),
+                "mflop": round(s.mflop, 2),
+                "gld_efficiency_pct": round(s.gld_efficiency, 1),
+                "gld_transactions_per_request": round(
+                    s.gld_transactions_per_request, 2),
+                "tex_requests": int(s.tex_cache_requests),
+                "tex_hit_rate_pct": round(s.tex_cache_hit_rate, 1),
+            })
+        return rows

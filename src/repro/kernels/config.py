@@ -1,0 +1,126 @@
+"""Layer configuration and result types shared by all kernel backends."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.gpusim.profiler import KernelStats
+from repro.nn.im2col import conv_output_size
+
+
+@dataclass(frozen=True)
+class LayerConfig:
+    """One deformable-conv layer instance, as in the paper's Table II rows."""
+
+    in_channels: int
+    out_channels: int
+    height: int
+    width: int
+    kernel_size: int = 3
+    stride: int = 1
+    padding: int = 1
+    dilation: int = 1
+    deformable_groups: int = 1
+    batch: int = 1
+
+    @property
+    def out_height(self) -> int:
+        return conv_output_size(self.height, self.kernel_size, self.stride,
+                                self.padding, self.dilation)
+
+    @property
+    def out_width(self) -> int:
+        return conv_output_size(self.width, self.kernel_size, self.stride,
+                                self.padding, self.dilation)
+
+    @property
+    def taps(self) -> int:
+        return self.kernel_size * self.kernel_size
+
+    @property
+    def out_pixels(self) -> int:
+        return self.out_height * self.out_width
+
+    @property
+    def offset_channels(self) -> int:
+        return 2 * self.deformable_groups * self.taps
+
+    def offset_shape(self) -> Tuple[int, int, int, int]:
+        return (self.batch, self.offset_channels, self.out_height,
+                self.out_width)
+
+    def input_shape(self) -> Tuple[int, int, int, int]:
+        return (self.batch, self.in_channels, self.height, self.width)
+
+    def weight_shape(self) -> Tuple[int, int, int, int]:
+        return (self.out_channels, self.in_channels, self.kernel_size,
+                self.kernel_size)
+
+    def label(self) -> str:
+        return (f"{self.in_channels}x{self.out_channels}x"
+                f"{self.height}x{self.width}")
+
+
+#: The six layer shapes of the paper's Table II / Table IV — the deformable
+#: 3×3 convs of a YOLACT++ ResNet-101 backbone at 550×550 input.
+TABLE2_LAYERS = (
+    LayerConfig(128, 128, 138, 138),
+    LayerConfig(128, 128, 69, 69),
+    LayerConfig(256, 256, 69, 69),
+    LayerConfig(256, 256, 35, 35),
+    LayerConfig(512, 512, 35, 35),
+    LayerConfig(512, 512, 18, 18),
+)
+
+
+@dataclass
+class OpResult:
+    """Output + per-kernel stats of one deformable-op execution."""
+
+    output: Optional[np.ndarray]
+    kernels: List[KernelStats] = field(default_factory=list)
+
+    @property
+    def latency_ms(self) -> float:
+        return sum(k.duration_ms for k in self.kernels)
+
+    @property
+    def sample_kernel(self) -> KernelStats:
+        """The gather/interpolate kernel (the one Fig. 10 profiles)."""
+        return self.kernels[0]
+
+    def merged_stats(self) -> KernelStats:
+        total = KernelStats(name="total")
+        for k in self.kernels:
+            total = total.merged(k)
+        total.name = "total"
+        return total
+
+
+def synth_offsets(cfg: LayerConfig, sigma: float = 2.0,
+                  bound: Optional[float] = None, seed: int = 0,
+                  correlation: float = 4.0) -> np.ndarray:
+    """Synthetic learned offsets with realistic magnitude *and smoothness*.
+
+    Trained DCN offsets are zero-mean with σ of a couple of pixels and are
+    spatially smooth (they are produced by a convolution over smooth
+    features) — i.i.d. noise would be an adversarial, unrealistic access
+    pattern.  ``correlation`` is the spatial correlation length in pixels;
+    ``bound`` applies the bounded-deformation clamp of Section III-A-c.
+    """
+    from scipy.ndimage import gaussian_filter
+
+    rng = np.random.default_rng(seed)
+    off = rng.normal(0.0, 1.0, size=cfg.offset_shape()).astype(np.float32)
+    if correlation > 0:
+        off = gaussian_filter(off, sigma=(0, 0, correlation, correlation),
+                              mode="nearest")
+    std = off.std()
+    if std > 0:
+        off *= sigma / std
+    if bound is not None:
+        off = np.clip(off, -bound, bound)
+    return off.astype(np.float32)

@@ -1,0 +1,60 @@
+"""Backend dispatch and convenience runners for the deformable operator."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.trace import SamplePlan
+from repro.kernels.config import LayerConfig, OpResult, synth_offsets
+from repro.kernels.reference import run_reference
+from repro.kernels.tex2d import DEFAULT_TILE, run_tex2d, run_tex2dpp
+
+BACKENDS = ("pytorch", "tex2d", "tex2dpp")
+
+
+def run_deform_op(backend: str, x: np.ndarray, offset: np.ndarray,
+                  weight: np.ndarray, bias: Optional[np.ndarray],
+                  cfg: LayerConfig, spec: DeviceSpec,
+                  tile: Tuple[int, int] = DEFAULT_TILE,
+                  plan: Optional[SamplePlan] = None,
+                  compute_output: bool = True) -> OpResult:
+    """Run one deformable conv through the selected backend."""
+    if backend == "pytorch":
+        return run_reference(x, offset, weight, bias, cfg, spec, plan=plan,
+                             compute_output=compute_output)
+    if backend == "tex2d":
+        return run_tex2d(x, offset, weight, bias, cfg, spec, tile=tile,
+                         plan=plan, compute_output=compute_output)
+    if backend == "tex2dpp":
+        return run_tex2dpp(x, offset, weight, bias, cfg, spec, tile=tile,
+                           plan=plan, compute_output=compute_output)
+    raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+
+
+def run_layer_all_backends(cfg: LayerConfig, spec: DeviceSpec,
+                           tile: Tuple[int, int] = DEFAULT_TILE,
+                           offset_sigma: float = 2.0,
+                           bound: Optional[float] = None, seed: int = 0,
+                           compute_output: bool = False,
+                           plan: Optional[SamplePlan] = None
+                           ) -> Dict[str, OpResult]:
+    """Run one layer shape through all three backends with shared data.
+
+    This is the workhorse of the Table II / Table IV / Fig. 7 benches:
+    identical input, weights and (synthesised) offsets per backend, so the
+    latency differences are purely the execution strategy.
+    """
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=cfg.input_shape()).astype(np.float32)
+    w = (rng.normal(size=cfg.weight_shape()) / np.sqrt(cfg.in_channels * 9)
+         ).astype(np.float32)
+    b = rng.normal(size=(cfg.out_channels,)).astype(np.float32)
+    off = synth_offsets(cfg, sigma=offset_sigma, bound=bound, seed=seed)
+    return {
+        backend: run_deform_op(backend, x, off, w, b, cfg, spec, tile=tile,
+                               plan=plan, compute_output=compute_output)
+        for backend in BACKENDS
+    }

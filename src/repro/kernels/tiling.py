@@ -1,0 +1,65 @@
+"""Tile-size search space for the tex2D kernels (paper Fig. 8).
+
+The CTA tile (ty, tx) trades off three effects the simulator models:
+
+* **occupancy** — ty·tx threads per block; tiny tiles cannot hide latency;
+* **texture-cache locality** — a tile's fetch footprint (tile + deformation
+  halo) must fit the per-SM cache share, or re-accesses thrash;
+* **wave quantisation** — the CTA count must fill the SMs evenly.
+
+``enumerate_tiles`` generates the legal space; the Bayesian tuner in
+:mod:`repro.autotune` searches it offline, as the paper does with ytopt.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.gpusim.device import DeviceSpec
+from repro.kernels.config import LayerConfig
+
+#: Power-of-two candidate extents, as GPU kernels are usually written.
+CANDIDATE_EXTENTS = (2, 4, 8, 16, 32, 64)
+
+
+def enumerate_tiles(cfg: LayerConfig, spec: DeviceSpec,
+                    extents: Tuple[int, ...] = CANDIDATE_EXTENTS
+                    ) -> List[Tuple[int, int]]:
+    """All (ty, tx) tiles that launch legally for this layer and device."""
+    tiles = []
+    for ty in extents:
+        for tx in extents:
+            threads = ty * tx
+            if threads < spec.warp_size:
+                continue  # sub-warp blocks waste the SIMD width
+            if threads > spec.max_threads_per_block:
+                continue
+            if ty > cfg.out_height * 2 or tx > cfg.out_width * 2:
+                continue  # grossly oversized for the layer
+            tiles.append((ty, tx))
+    if not tiles:
+        raise ValueError(f"no legal tiles for {cfg.label()} on {spec.name}")
+    return tiles
+
+
+def heuristic_tile(cfg: LayerConfig, spec: DeviceSpec) -> Tuple[int, int]:
+    """A sensible default (what a hand-tuned kernel would pick): the largest
+    square power-of-two tile that keeps 256 threads/block and covers the
+    output plane reasonably."""
+    best = (16, 16)
+    for ty in (16, 8, 4):
+        if ty <= cfg.out_height:
+            for tx in (16, 8, 4):
+                if tx <= cfg.out_width and ty * tx >= 64:
+                    return (ty, tx)
+    return best
+
+
+def tile_footprint_bytes(cfg: LayerConfig, tile: Tuple[int, int],
+                         bound: float = 7.0, dtype_bytes: int = 4) -> int:
+    """Texture working set of one CTA for one layer: tile + deformation halo."""
+    ty, tx = tile
+    halo = int(bound) + cfg.kernel_size // 2 + 1
+    span_y = ty * cfg.stride + 2 * halo
+    span_x = tx * cfg.stride + 2 * halo
+    return span_y * span_x * dtype_bytes

@@ -1,0 +1,124 @@
+"""Texture-hardware bilinear upsampling — the paper's future-work extension.
+
+The conclusion of the paper: "In future work, we expect to use our approach
+to improve other DNN operators by leveraging texture hardware."  Bilinear
+upsampling (the FPN top-down path, decoder heads, YOLACT's prototype
+upsample) is the most natural candidate: its sampling grid is *regular*,
+so the texture unit's hardware interpolation replaces the software lerp
+exactly as it does for deformable sampling — without even needing an
+offset stream.
+
+Two backends, same contract as the deformable kernels:
+
+* ``run_upsample_reference`` — software bilinear (4 gathered loads + 7
+  FLOPs per output pixel);
+* ``run_upsample_tex2d``     — one hardware-filtered texture fetch per
+  output pixel.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.deform.bilinear import bilinear_sample
+from repro.gpusim.cache import TextureCacheModel
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.kernel import KernelCost, LaunchConfig, estimate_time_ms
+from repro.gpusim.memory import strided_stats
+from repro.gpusim.profiler import KernelStats
+from repro.gpusim.texture import LayeredTexture2D, TextureDescriptor
+from repro.kernels.config import OpResult
+
+
+def _sample_grid(h: int, w: int, scale: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Align-corners=False bilinear source coordinates for ×scale output."""
+    oh, ow = h * scale, w * scale
+    ys = (np.arange(oh, dtype=np.float32) + 0.5) / scale - 0.5
+    xs = (np.arange(ow, dtype=np.float32) + 0.5) / scale - 0.5
+    py = np.repeat(ys, ow)
+    px = np.tile(xs, oh)
+    return py, px
+
+
+def run_upsample_reference(x: np.ndarray, scale: int, spec: DeviceSpec,
+                           compute_output: bool = True) -> OpResult:
+    """Software bilinear ×scale upsampling of an (N, C, H, W) map."""
+    n, c, h, w = x.shape
+    py, px = _sample_grid(h, w, scale)
+    output = None
+    if compute_output:
+        vals = bilinear_sample(x.reshape(n * c, 1, h, w),
+                               py[None, None], px[None, None])
+        output = vals.reshape(n, c, h * scale, w * scale)
+
+    out_px = h * w * scale * scale
+    # Regular grid: reads are well coalesced; 4 corner loads per output.
+    loads = strided_stats(n * c * out_px * 4, 4, spec)
+    flops = float(n * c * out_px * 7)
+    launch = LaunchConfig(grid=max(1, -(-(n * c * out_px) // 256)),
+                          block=256)
+    cost = KernelCost(flops=flops,
+                      dram_bytes=loads.bytes_transferred
+                      + n * c * out_px * 4,
+                      compute_efficiency=0.35)
+    stats = KernelStats(
+        name="upsample_bilinear_sw",
+        duration_ms=estimate_time_ms(cost, launch, spec),
+        flop_count_sp=flops,
+        gld_requests=loads.requests,
+        gld_transactions=loads.transactions,
+        gld_bytes_requested=loads.bytes_requested,
+        dram_read_bytes=loads.bytes_transferred,
+        dram_write_bytes=float(n * c * out_px * 4),
+    )
+    return OpResult(output=output, kernels=[stats])
+
+
+def run_upsample_tex2d(x: np.ndarray, scale: int, spec: DeviceSpec,
+                       tile: Tuple[int, int] = (16, 16),
+                       compute_output: bool = True) -> OpResult:
+    """Texture-hardware ×scale upsampling: one filtered fetch per output."""
+    n, c, h, w = x.shape
+    py, px = _sample_grid(h, w, scale)
+    output = None
+    if compute_output:
+        tex = LayeredTexture2D.from_feature_map(
+            x, desc=TextureDescriptor(address_mode="clamp"), spec=spec)
+        layers = np.repeat(np.arange(n * c), py.size)
+        vals = tex.fetch_at_pixel_coords(
+            layers, np.tile(py, n * c), np.tile(px, n * c))
+        output = vals.reshape(n, c, h * scale, w * scale)
+
+    oh, ow = h * scale, w * scale
+    out_px = oh * ow
+    ty, tx = tile
+    cache = TextureCacheModel(spec, concurrent_layers=min(c, 4))
+    oy = np.repeat(np.arange(oh), ow) // ty
+    ox = np.tile(np.arange(ow), oh) // tx
+    cta = oy * (-(-ow // tx)) + ox
+    tex_stats = cache.simulate(np.floor(py).astype(np.int64),
+                               np.floor(px).astype(np.int64), cta, h, w)
+    tex_stats = tex_stats.scaled(n * c)
+    tiles = -(-oh // ty) * -(-ow // tx)
+    launch = LaunchConfig(grid=max(1, tiles * n * c), block=ty * tx)
+    cost = KernelCost(
+        flops=float(n * c * out_px * 2),   # coordinate arithmetic only
+        dram_bytes=tex_stats.miss_bytes + n * c * out_px * 4,
+        tex_fetches=float(tex_stats.requests),
+        tex_rate_divisor=float(spec.tex_fp32_rate_divisor),
+        cta_prologue_cycles=300.0,
+        compute_efficiency=0.35,
+    )
+    stats = KernelStats(
+        name="upsample_bilinear_tex2d",
+        duration_ms=estimate_time_ms(cost, launch, spec),
+        flop_count_sp=cost.flops,
+        tex_cache_requests=tex_stats.requests,
+        tex_texel_reads=tex_stats.texel_reads,
+        tex_cache_hits=tex_stats.hits,
+        dram_read_bytes=tex_stats.miss_bytes,
+        dram_write_bytes=float(n * c * out_px * 4),
+    )
+    return OpResult(output=output, kernels=[stats])

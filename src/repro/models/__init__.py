@@ -1,0 +1,21 @@
+"""Model zoo: ResNet-style backbones with DCN candidate sites, FPN,
+YOLACT-style segmentation heads, and a classification proxy head."""
+
+from repro.models.resnet import (EXPANSION, SEARCHABLE_STAGES, STAGE_BLOCKS,
+                                 Bottleneck, ResNetBackbone, SiteSpec)
+from repro.models.fpn import FPNLite
+from repro.models.protonet import ProtoNet
+from repro.models.prediction_head import PredictionHead
+from repro.models.yolact import YolactLite
+from repro.models.classifier import ShapeClassifier
+from repro.models.zoo import (build_backbone, build_classifier, build_yolact,
+                              dual_path_sites, placement_factory,
+                              supernet_factory)
+
+__all__ = [
+    "ResNetBackbone", "Bottleneck", "SiteSpec", "STAGE_BLOCKS",
+    "SEARCHABLE_STAGES", "EXPANSION",
+    "FPNLite", "ProtoNet", "PredictionHead", "YolactLite", "ShapeClassifier",
+    "build_backbone", "build_yolact", "build_classifier",
+    "placement_factory", "supernet_factory", "dual_path_sites",
+]

@@ -1,0 +1,35 @@
+"""Feature Pyramid Network neck (the YOLACT FPN, reduced to what the
+shapes task needs: a single fused P3 level built top-down from c3–c5)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.tensor import Tensor
+from repro.nn import BatchNorm2d, Conv2d, Module, ReLU
+from repro.nn import functional as F
+
+
+class FPNLite(Module):
+    """Lateral 1×1 projections + top-down 2× upsampling, fused at c3 scale."""
+
+    def __init__(self, c3: int, c4: int, c5: int, out_channels: int = 24,
+                 rng: np.random.Generator = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.lat3 = Conv2d(c3, out_channels, 1, bias=False, rng=rng)
+        self.lat4 = Conv2d(c4, out_channels, 1, bias=False, rng=rng)
+        self.lat5 = Conv2d(c5, out_channels, 1, bias=False, rng=rng)
+        self.smooth = Conv2d(out_channels, out_channels, 3, padding=1,
+                             bias=False, rng=rng)
+        self.bn = BatchNorm2d(out_channels)
+        self.relu = ReLU()
+        self.out_channels = out_channels
+
+    def forward(self, features: Dict[str, Tensor]) -> Tensor:
+        p5 = self.lat5(features["c5"])
+        p4 = self.lat4(features["c4"]) + F.interpolate_nearest2x(p5)
+        p3 = self.lat3(features["c3"]) + F.interpolate_nearest2x(p4)
+        return self.relu(self.bn(self.smooth(p3)))

@@ -1,0 +1,40 @@
+"""YOLACT-style dense prediction head.
+
+One shared 3×3 tower on P3 followed by four sibling 1×1 branches producing,
+per grid cell: objectness, class logits, a normalised box, and the mask
+coefficients that combine the ProtoNet prototypes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.tensor import Tensor
+from repro.nn import Conv2d, Module, ReLU
+
+
+class PredictionHead(Module):
+    def __init__(self, in_channels: int, num_classes: int,
+                 num_prototypes: int, width: int = 24,
+                 rng: np.random.Generator = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.tower = Conv2d(in_channels, width, 3, padding=1, rng=rng)
+        self.relu = ReLU()
+        self.obj = Conv2d(width, 1, 1, rng=rng)
+        self.cls = Conv2d(width, num_classes, 1, rng=rng)
+        self.box = Conv2d(width, 4, 1, rng=rng)
+        self.coef = Conv2d(width, num_prototypes, 1, rng=rng)
+        self.num_classes = num_classes
+        self.num_prototypes = num_prototypes
+
+    def forward(self, p3: Tensor) -> Dict[str, Tensor]:
+        t = self.relu(self.tower(p3))
+        return {
+            "obj": self.obj(t),        # (N, 1, G, G) logits
+            "cls": self.cls(t),        # (N, C, G, G) logits
+            "box": self.box(t),        # (N, 4, G, G) raw; sigmoid → [0,1]
+            "coef": self.coef(t),      # (N, K, G, G) mask coefficients
+        }

@@ -1,0 +1,39 @@
+"""ProtoNet — the YOLACT prototype-mask branch.
+
+YOLACT's key idea: predict k image-wide *prototype* masks once, and have
+each detection linearly combine them with per-instance coefficients.  The
+paper's models inherit this head unchanged; we reproduce it at reduced
+width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor
+from repro.nn import Conv2d, Module, ReLU
+from repro.nn import functional as F
+
+
+class ProtoNet(Module):
+    """Two 3×3 convs + 2× upsample + 1×1 to ``num_prototypes`` channels.
+
+    Output prototypes live at twice the P3 resolution (image/2 with the
+    default geometry) and are non-negative (ReLU), as in YOLACT.
+    """
+
+    def __init__(self, in_channels: int, num_prototypes: int = 6,
+                 width: int = 24, rng: np.random.Generator = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.conv1 = Conv2d(in_channels, width, 3, padding=1, rng=rng)
+        self.conv2 = Conv2d(width, width, 3, padding=1, rng=rng)
+        self.proj = Conv2d(width, num_prototypes, 1, rng=rng)
+        self.relu = ReLU()
+        self.num_prototypes = num_prototypes
+
+    def forward(self, p3: Tensor) -> Tensor:
+        out = self.relu(self.conv1(p3))
+        out = F.interpolate_nearest2x(out)
+        out = self.relu(self.conv2(out))
+        return self.relu(self.proj(out))

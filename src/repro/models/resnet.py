@@ -1,0 +1,195 @@
+"""ResNet-style backbone with pluggable 3×3 sites (the DCN candidates).
+
+Mirrors the structure the paper searches over: bottleneck residual blocks
+arranged in four stages, stride-2 downsampling at the entry of stages 3–5,
+and **the 3×3 convolution of every bottleneck in the last three stages** as
+the candidate site where interval search may substitute a deformable
+convolution (YOLACT++ applies DCNs in exactly those stages of its
+ResNet-50/101 backbone).
+
+The scaled-down presets ``r50s`` / ``r101s`` keep the stage structure and
+downsampling pattern of ResNet-50/101 at a width and depth that train in
+seconds on the NumPy engine (see DESIGN.md, "Scaled-down model dictionary").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.tensor import Tensor
+from repro.nn import BatchNorm2d, Conv2d, Module, ModuleList, ReLU
+from repro.kernels.config import LayerConfig
+
+#: Bottleneck output channels = width × EXPANSION.
+EXPANSION = 2
+
+#: stage blocks of the scaled backbones (analogue of [3,4,6,3]/[3,4,23,3])
+STAGE_BLOCKS = {
+    "r50s": (2, 3, 4, 2),
+    "r101s": (2, 3, 8, 3),
+}
+#: stages whose 3×3 convs are DCN candidates ("the last three stages")
+SEARCHABLE_STAGES = (3, 4, 5)
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """Identity and geometry of one candidate 3×3 site."""
+
+    stage: int           # 2..5
+    block: int           # index within the stage
+    in_channels: int     # = width of the bottleneck
+    out_channels: int
+    stride: int
+    feature_size: int    # spatial extent of this conv's input
+
+    @property
+    def is_downsampling(self) -> bool:
+        return self.stride == 2
+
+    def layer_config(self, batch: int = 1) -> LayerConfig:
+        """The shape handed to the latency table / kernel benches."""
+        return LayerConfig(
+            in_channels=self.in_channels, out_channels=self.out_channels,
+            height=self.feature_size, width=self.feature_size,
+            stride=self.stride, batch=batch)
+
+
+#: factory(site, rng) -> Module computing the 3×3 conv of that site
+Conv3x3Factory = Callable[[SiteSpec, np.random.Generator], Module]
+
+
+def default_conv3x3(site: SiteSpec, rng: np.random.Generator) -> Module:
+    return Conv2d(site.in_channels, site.out_channels, 3, stride=site.stride,
+                  padding=1, bias=False, rng=rng)
+
+
+class Bottleneck(Module):
+    """1×1 reduce → 3×3 (candidate site) → 1×1 expand, with skip."""
+
+    def __init__(self, in_channels: int, width: int, stride: int,
+                 conv2: Module, rng: np.random.Generator):
+        super().__init__()
+        out_channels = width * EXPANSION
+        self.conv1 = Conv2d(in_channels, width, 1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(width)
+        self.conv2 = conv2
+        self.bn2 = BatchNorm2d(width)
+        self.conv3 = Conv2d(width, out_channels, 1, bias=False, rng=rng)
+        self.bn3 = BatchNorm2d(out_channels)
+        self.relu = ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.down_conv = Conv2d(in_channels, out_channels, 1,
+                                    stride=stride, bias=False, rng=rng)
+            self.down_bn = BatchNorm2d(out_channels)
+        else:
+            self.down_conv = None
+            self.down_bn = None
+        self.out_channels = out_channels
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = x
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.relu(self.bn2(self.conv2(out)))
+        out = self.bn3(self.conv3(out))
+        if self.down_conv is not None:
+            identity = self.down_bn(self.down_conv(x))
+        return self.relu(out + identity)
+
+
+class ResNetBackbone(Module):
+    """Four-stage bottleneck backbone with candidate-site bookkeeping.
+
+    Parameters
+    ----------
+    arch:
+        'r50s' or 'r101s' (or an explicit blocks tuple).
+    input_size:
+        Image extent (square); used to record per-site feature sizes for
+        the latency table.
+    conv3x3_factory:
+        Builds the 3×3 operator of every bottleneck in the *searchable*
+        stages — plain conv (default), a fixed :class:`DeformConv2d`, or a
+        :class:`~repro.nas.dual_path.DualPathLayer` for the supernet.
+    """
+
+    def __init__(self, arch: str = "r50s", base_width: int = 8,
+                 input_size: int = 64,
+                 conv3x3_factory: Optional[Conv3x3Factory] = None,
+                 seed: int = 0):
+        super().__init__()
+        if isinstance(arch, str):
+            if arch not in STAGE_BLOCKS:
+                raise KeyError(f"unknown arch {arch!r}; "
+                               f"known: {sorted(STAGE_BLOCKS)}")
+            blocks = STAGE_BLOCKS[arch]
+        else:
+            blocks = tuple(arch)
+            arch = f"custom{blocks}"
+        factory = conv3x3_factory or default_conv3x3
+        rng = np.random.default_rng(seed)
+        self.arch = arch
+        self.input_size = input_size
+
+        self.stem = Conv2d(3, base_width, 3, stride=2, padding=1,
+                           bias=False, rng=rng)
+        self.stem_bn = BatchNorm2d(base_width)
+        self.relu = ReLU()
+
+        self._site_specs: List[SiteSpec] = []
+        self._site_modules: List[Module] = []
+        self.stage_channels: Dict[int, int] = {}
+        stages = ModuleList()
+        in_channels = base_width
+        feature = input_size // 2  # after the stem
+        for stage_idx, num_blocks in zip((2, 3, 4, 5), blocks):
+            width = base_width * 2 ** (stage_idx - 2)
+            stage = ModuleList()
+            for block_idx in range(num_blocks):
+                stride = 2 if (block_idx == 0 and stage_idx >= 3) else 1
+                site = SiteSpec(stage=stage_idx, block=block_idx,
+                                in_channels=width, out_channels=width,
+                                stride=stride, feature_size=feature)
+                if stage_idx in SEARCHABLE_STAGES:
+                    conv2 = factory(site, rng)
+                    self._site_specs.append(site)
+                    self._site_modules.append(conv2)
+                else:
+                    conv2 = default_conv3x3(site, rng)
+                block = Bottleneck(in_channels, width, stride, conv2, rng)
+                stage.append(block)
+                in_channels = block.out_channels
+                if stride == 2:
+                    feature //= 2
+            stages.append(stage)
+            self.stage_channels[stage_idx] = in_channels
+        self.stages = stages
+
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Dict[str, Tensor]:
+        """Returns the pyramid features {'c2': ..., 'c5': ...}."""
+        out = self.relu(self.stem_bn(self.stem(x)))
+        features = {}
+        for stage_idx, stage in zip((2, 3, 4, 5), self.stages):
+            for block in stage:
+                out = block(out)
+            features[f"c{stage_idx}"] = out
+        return features
+
+    # ------------------------------------------------------------------
+    def candidate_sites(self) -> List[Tuple[SiteSpec, Module]]:
+        """The searchable 3×3 sites in backbone order."""
+        return list(zip(self._site_specs, self._site_modules))
+
+    def site_layer_configs(self, batch: int = 1) -> List[LayerConfig]:
+        return [spec.layer_config(batch) for spec in self._site_specs]
+
+    def num_candidate_sites(self) -> int:
+        return len(self._site_specs)
+
+    def __repr__(self) -> str:
+        return (f"ResNetBackbone({self.arch}, sites="
+                f"{self.num_candidate_sites()})")

@@ -1,0 +1,115 @@
+"""Model factory: plain / DCN-placed / supernet variants of the backbones.
+
+The placement vector is the central object: one boolean per candidate 3×3
+site (backbone order), True meaning a deformable convolution sits there.
+``manual_interval_placement`` (YOLACT++'s interval-3 policy) and the
+interval search both produce such vectors; this module turns them into
+concrete models.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn import Module
+from repro.deform.layers import DeformConv2d
+from repro.nas.dual_path import DualPathLayer
+from repro.models.classifier import ShapeClassifier
+from repro.models.resnet import (ResNetBackbone, SiteSpec, default_conv3x3)
+from repro.models.yolact import YolactLite
+
+
+def placement_factory(placement: Sequence[bool], lightweight: bool = False,
+                      bound: Optional[float] = None, rounded: bool = False,
+                      deformable_groups: int = 1):
+    """conv3x3 factory realising a fixed placement vector."""
+    placement = list(placement)
+    counter = {"i": 0}
+
+    def factory(site: SiteSpec, rng: np.random.Generator) -> Module:
+        i = counter["i"]
+        counter["i"] += 1
+        if i >= len(placement):
+            raise ValueError(
+                f"placement vector too short: {len(placement)} entries for "
+                f"site {i}")
+        if placement[i]:
+            return DeformConv2d(site.in_channels, site.out_channels, 3,
+                                stride=site.stride, padding=1, bias=False,
+                                lightweight=lightweight, bound=bound,
+                                rounded=rounded,
+                                deformable_groups=deformable_groups, rng=rng)
+        return default_conv3x3(site, rng)
+
+    return factory
+
+
+def supernet_factory(lightweight: bool = False,
+                     bound: Optional[float] = None,
+                     deformable_groups: int = 1):
+    """conv3x3 factory producing a DualPathLayer at every site."""
+
+    def factory(site: SiteSpec, rng: np.random.Generator) -> Module:
+        return DualPathLayer(site.in_channels, site.out_channels,
+                             stride=site.stride, lightweight=lightweight,
+                             bound=bound,
+                             deformable_groups=deformable_groups, rng=rng)
+
+    return factory
+
+
+def build_backbone(arch: str = "r50s", input_size: int = 64,
+                   base_width: int = 8,
+                   placement: Optional[Sequence[bool]] = None,
+                   supernet: bool = False, lightweight: bool = False,
+                   bound: Optional[float] = None, rounded: bool = False,
+                   seed: int = 0) -> ResNetBackbone:
+    """Build a backbone with plain convs, a fixed DCN placement, or as a
+    dual-path supernet."""
+    if supernet and placement is not None:
+        raise ValueError("choose either a fixed placement or supernet mode")
+    if supernet:
+        factory = supernet_factory(lightweight=lightweight, bound=bound)
+    elif placement is not None:
+        factory = placement_factory(placement, lightweight=lightweight,
+                                    bound=bound, rounded=rounded)
+    else:
+        factory = None
+    return ResNetBackbone(arch=arch, base_width=base_width,
+                          input_size=input_size, conv3x3_factory=factory,
+                          seed=seed)
+
+
+def build_yolact(arch: str = "r50s", input_size: int = 64,
+                 num_classes: int = 4,
+                 placement: Optional[Sequence[bool]] = None,
+                 supernet: bool = False, lightweight: bool = False,
+                 bound: Optional[float] = None, rounded: bool = False,
+                 seed: int = 0, **kwargs) -> YolactLite:
+    backbone = build_backbone(arch=arch, input_size=input_size,
+                              placement=placement, supernet=supernet,
+                              lightweight=lightweight, bound=bound,
+                              rounded=rounded, seed=seed)
+    return YolactLite(backbone, num_classes=num_classes, seed=seed, **kwargs)
+
+
+def build_classifier(arch: str = "r50s", input_size: int = 64,
+                     num_classes: int = 4,
+                     placement: Optional[Sequence[bool]] = None,
+                     supernet: bool = False, lightweight: bool = False,
+                     bound: Optional[float] = None, rounded: bool = False,
+                     seed: int = 0) -> ShapeClassifier:
+    backbone = build_backbone(arch=arch, input_size=input_size,
+                              placement=placement, supernet=supernet,
+                              lightweight=lightweight, bound=bound,
+                              rounded=rounded, seed=seed)
+    return ShapeClassifier(backbone, num_classes=num_classes, seed=seed)
+
+
+def dual_path_sites(model: Module) -> List[DualPathLayer]:
+    """All DualPathLayer sites of a supernet model, in backbone order."""
+    backbone = getattr(model, "backbone", model)
+    return [mod for _, mod in backbone.candidate_sites()
+            if isinstance(mod, DualPathLayer)]

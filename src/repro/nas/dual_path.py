@@ -1,0 +1,95 @@
+"""Dual-path searchable layer — regular conv vs deformable conv (Fig. 4c).
+
+Each candidate 3×3 site in the backbone holds both operators plus a pair of
+architecture parameters α = (α⁰ regular, α¹ deformable); during the search
+the outputs are blended with Gumbel-Softmax weights (Eq. 5), and afterwards
+the operator with the larger α wins (Algorithm 1: "Select Layer Type by the
+Magnitude of α").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.tensor import Tensor
+from repro.nn import Conv2d, Module
+from repro.nn.module import Parameter
+from repro.deform.layers import DeformConv2d
+from repro.nas.gumbel import gumbel_softmax
+
+REGULAR, DEFORM = 0, 1
+
+
+class DualPathLayer(Module):
+    """Holds both operator choices for one candidate site."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 lightweight: bool = False, bound: Optional[float] = None,
+                 deformable_groups: int = 1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.stride = stride
+        self.regular = Conv2d(in_channels, out_channels, 3, stride=stride,
+                              padding=1, bias=False, rng=rng)
+        self.deform = DeformConv2d(in_channels, out_channels, 3,
+                                   stride=stride, padding=1, bias=False,
+                                   lightweight=lightweight, bound=bound,
+                                   deformable_groups=deformable_groups,
+                                   rng=rng)
+        # Start unbiased between the two operators.
+        self.alpha = Parameter(np.zeros(2, dtype=np.float32))
+        # Search-mode state, set by the driver before each forward.
+        self._tau = 1.0
+        self._rng = rng
+        self._noise = "gumbel"
+        self._search_mode = True
+        self._fixed_choice: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def set_search_state(self, tau: float, rng: np.random.Generator,
+                         noise: str = "gumbel") -> None:
+        self._tau = tau
+        self._rng = rng
+        self._noise = noise
+        self._search_mode = True
+        self._fixed_choice = None
+
+    def freeze_choice(self, choice: Optional[int] = None) -> int:
+        """Stop sampling; use ``choice`` (default: argmax α) from now on."""
+        if choice is None:
+            choice = self.chosen()
+        if choice not in (REGULAR, DEFORM):
+            raise ValueError("choice must be 0 (regular) or 1 (deform)")
+        self._search_mode = False
+        self._fixed_choice = choice
+        return choice
+
+    def chosen(self) -> int:
+        """Operator selected by the magnitude of α (Algorithm 1)."""
+        return int(np.argmax(self.alpha.data))
+
+    @property
+    def uses_deform(self) -> bool:
+        if self._fixed_choice is not None:
+            return self._fixed_choice == DEFORM
+        return self.chosen() == DEFORM
+
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:
+        if not self._search_mode and self._fixed_choice is not None:
+            branch = self.deform if self._fixed_choice == DEFORM else self.regular
+            return branch(x)
+        weights = gumbel_softmax(self.alpha, self._tau, self._rng,
+                                 noise=self._noise)
+        return (self.regular(x) * weights[0:1].reshape(1, 1, 1, 1)
+                + self.deform(x) * weights[1:2].reshape(1, 1, 1, 1))
+
+    def __repr__(self) -> str:
+        tag = "deform" if self.uses_deform else "regular"
+        return (f"DualPathLayer({self.in_channels}, {self.out_channels}, "
+                f"s={self.stride}, chosen={tag})")

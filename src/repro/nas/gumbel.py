@@ -1,0 +1,63 @@
+"""Gumbel-Softmax sampling for the dual-path search (paper Eq. 5).
+
+The paper linearly combines the two operator outputs with weights
+
+    w_i = exp((α_i + ε_i)/τ) / Σ_j exp((α_j + ε_j)/τ)
+
+where ε keeps exploration alive and τ is annealed.  The paper writes
+ε ~ U(0, 1); standard Gumbel noise ``−log(−log u)`` is also provided (it is
+what makes the soft samples converge to the categorical distribution) and
+is the default — ``noise='uniform'`` gives the literal paper variant.
+Both are differentiable w.r.t. α.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+def sample_noise(shape, rng: np.random.Generator,
+                 noise: str = "gumbel") -> np.ndarray:
+    """Draw the exploration noise ε."""
+    u = rng.uniform(1e-9, 1.0 - 1e-9, size=shape)
+    if noise == "gumbel":
+        return (-np.log(-np.log(u))).astype(np.float32)
+    if noise == "uniform":
+        return u.astype(np.float32)
+    raise ValueError(f"noise must be 'gumbel' or 'uniform', got {noise!r}")
+
+
+def gumbel_softmax(alpha: Tensor, tau: float, rng: np.random.Generator,
+                   noise: str = "gumbel", hard: bool = False,
+                   eps: Optional[np.ndarray] = None) -> Tensor:
+    """Differentiable operator weights from architecture parameters.
+
+    ``alpha``: (num_ops,) architecture parameters; returns (num_ops,)
+    weights summing to 1.  ``hard=True`` returns a straight-through one-hot
+    (forward one-hot, backward soft) for discretised evaluation passes.
+    """
+    if tau <= 0:
+        raise ValueError(f"temperature must be positive, got {tau}")
+    if eps is None:
+        eps = sample_noise(alpha.shape, rng, noise)
+    soft = ((alpha + Tensor(eps)) * (1.0 / tau)).softmax(axis=-1)
+    if not hard:
+        return soft
+    # Straight-through: one-hot forward, identity gradient to the soft part.
+    idx = int(np.argmax(soft.data))
+    one_hot = np.zeros_like(soft.data)
+    one_hot[idx] = 1.0
+    return soft + Tensor(one_hot - soft.data)
+
+
+def anneal_tau(step: int, total_steps: int, tau_start: float = 5.0,
+               tau_end: float = 0.5) -> float:
+    """Exponential temperature annealing schedule over the search."""
+    if total_steps <= 1:
+        return tau_end
+    frac = min(1.0, step / (total_steps - 1))
+    return float(tau_start * (tau_end / tau_start) ** frac)

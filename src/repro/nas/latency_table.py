@@ -1,0 +1,136 @@
+"""On-device latency lookup table ``t(w_n)`` (paper Eq. 6).
+
+The paper collects per-layer latencies on the target GPU for every
+candidate configuration (trivial because DCNs only ever replace certain
+3×3 conv2d layers) and uses the table inside the differentiable latency
+penalty.  Here "on-device" measurement is a run of the GPU simulator; the
+table records, per layer shape, the latency of the regular conv and of the
+deformable operator on the chosen backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.kernel import LaunchConfig, estimate_time_ms, gemm_cost
+from repro.kernels.config import LayerConfig, synth_offsets
+from repro.kernels.dispatch import run_deform_op
+
+
+@dataclass(frozen=True)
+class LayerLatency:
+    """Latencies (ms) of the two operator choices for one layer shape."""
+
+    regular_ms: float
+    deform_ms: float
+
+    @property
+    def extra_ms(self) -> float:
+        """Marginal cost of choosing the deformable operator."""
+        return max(0.0, self.deform_ms - self.regular_ms)
+
+
+def conv_latency_ms(cfg: LayerConfig, spec: DeviceSpec) -> float:
+    """Latency of the regular 3×3 conv (im2col GEMM) for this shape."""
+    l = cfg.out_pixels * cfg.batch
+    gemm = gemm_cost(cfg.out_channels, l, cfg.in_channels * cfg.taps)
+    launch = LaunchConfig(
+        grid=max(1, -(-(cfg.out_channels * l) // (128 * 64))), block=256)
+    return estimate_time_ms(gemm, launch, spec)
+
+
+def deform_latency_ms(cfg: LayerConfig, spec: DeviceSpec,
+                      backend: str = "pytorch", seed: int = 0,
+                      bound: Optional[float] = 7.0) -> float:
+    """Latency of the deformable operator (sampling + GEMM) for this shape."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=cfg.input_shape()).astype(np.float32)
+    w = rng.normal(size=cfg.weight_shape()).astype(np.float32)
+    off = synth_offsets(cfg, bound=bound, seed=seed)
+    res = run_deform_op(backend, x, off, w, None, cfg, spec,
+                        compute_output=False)
+    return res.latency_ms
+
+
+class LatencyTable:
+    """``t(w_n)`` — per-shape operator latencies, built once and reused."""
+
+    def __init__(self, spec: DeviceSpec, backend: str = "pytorch",
+                 seed: int = 0):
+        self.spec = spec
+        self.backend = backend
+        self.seed = seed
+        self._table: Dict[LayerConfig, LayerLatency] = {}
+
+    def build(self, layers: Iterable[LayerConfig]) -> "LatencyTable":
+        for cfg in layers:
+            self.lookup(cfg)
+        return self
+
+    def lookup(self, cfg: LayerConfig) -> LayerLatency:
+        if cfg not in self._table:
+            self._table[cfg] = LayerLatency(
+                regular_ms=conv_latency_ms(cfg, self.spec),
+                deform_ms=deform_latency_ms(cfg, self.spec,
+                                            backend=self.backend,
+                                            seed=self.seed),
+            )
+        return self._table[cfg]
+
+    def deform_ms(self, cfg: LayerConfig) -> float:
+        return self.lookup(cfg).deform_ms
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def items(self) -> Iterable[Tuple[LayerConfig, LayerLatency]]:
+        return self._table.items()
+
+    # ------------------------------------------------------------------
+    # persistence — the paper collects on-device latencies once and reuses
+    # the lookup table across searches
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Serialise the table to JSON (shape tuple → latencies)."""
+        import dataclasses
+        import json
+
+        payload = {
+            "device": self.spec.name,
+            "backend": self.backend,
+            "entries": [
+                {"config": dataclasses.asdict(cfg),
+                 "regular_ms": lat.regular_ms,
+                 "deform_ms": lat.deform_ms}
+                for cfg, lat in self._table.items()
+            ],
+        }
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=1)
+
+    @classmethod
+    def load(cls, path, spec: DeviceSpec) -> "LatencyTable":
+        """Rebuild a table from :meth:`save` output.
+
+        The device recorded in the file must match ``spec`` — a latency
+        table is only valid for the hardware it was measured on.
+        """
+        import json
+
+        with open(path) as fh:
+            payload = json.load(fh)
+        if payload["device"] != spec.name:
+            raise ValueError(
+                f"latency table was measured on {payload['device']!r}, "
+                f"not {spec.name!r}")
+        table = cls(spec, backend=payload["backend"])
+        for entry in payload["entries"]:
+            cfg = LayerConfig(**entry["config"])
+            table._table[cfg] = LayerLatency(
+                regular_ms=entry["regular_ms"],
+                deform_ms=entry["deform_ms"])
+        return table

@@ -1,0 +1,27 @@
+"""Neural-network layer library on top of :mod:`repro.tensor`.
+
+Provides exactly the building blocks DEFCON's models and search need:
+convolutions (regular / depthwise / pointwise), batch & group norm, pooling,
+containers, SGD/Adam with LR schedules, and the functional ops in
+:mod:`repro.nn.functional`.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.conv import Conv2d, DepthwiseConv2d, PointwiseConv2d
+from repro.nn.norm import BatchNorm2d, GroupNorm
+from repro.nn.activation import ReLU, Sigmoid, Tanh, Identity
+from repro.nn.linear import Linear
+from repro.nn.container import Sequential, ModuleList
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.scheduler import MultiStepLR, CosineLR
+
+__all__ = [
+    "Module", "Parameter",
+    "Conv2d", "DepthwiseConv2d", "PointwiseConv2d",
+    "BatchNorm2d", "GroupNorm",
+    "ReLU", "Sigmoid", "Tanh", "Identity",
+    "Linear",
+    "Sequential", "ModuleList",
+    "SGD", "Adam", "Optimizer",
+    "MultiStepLR", "CosineLR",
+]

@@ -1,0 +1,37 @@
+"""Activation layers as Modules (for use inside Sequential containers)."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    def forward(self, x):
+        return x.relu()
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class Sigmoid(Module):
+    def forward(self, x):
+        return x.sigmoid()
+
+    def __repr__(self) -> str:
+        return "Sigmoid()"
+
+
+class Tanh(Module):
+    def forward(self, x):
+        return x.tanh()
+
+    def __repr__(self) -> str:
+        return "Tanh()"
+
+
+class Identity(Module):
+    def forward(self, x):
+        return x
+
+    def __repr__(self) -> str:
+        return "Identity()"

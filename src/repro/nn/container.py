@@ -1,0 +1,64 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        for i, mod in enumerate(modules):
+            setattr(self, str(i), mod)
+        self._length = len(modules)
+
+    def forward(self, x):
+        """Apply the contained modules in registration order."""
+        for i in range(self._length):
+            x = self._modules[str(i)](x)
+        return x
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, idx: int) -> Module:
+        if idx < 0:
+            idx += self._length
+        return self._modules[str(idx)]
+
+    def __iter__(self):
+        return (self._modules[str(i)] for i in range(self._length))
+
+
+class ModuleList(Module):
+    """List of modules (registered so their parameters are visible)."""
+
+    def __init__(self, modules: Iterable[Module] = ()):
+        super().__init__()
+        self._length = 0
+        for mod in modules:
+            self.append(mod)
+
+    def append(self, mod: Module) -> "ModuleList":
+        """Register one more module at the end of the list."""
+        setattr(self, str(self._length), mod)
+        self._length += 1
+        return self
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, idx: int) -> Module:
+        if idx < 0:
+            idx += self._length
+        return self._modules[str(idx)]
+
+    def __iter__(self):
+        return (self._modules[str(i)] for i in range(self._length))
+
+    def forward(self, *args, **kwargs):
+        raise RuntimeError("ModuleList is a container; index into it instead")

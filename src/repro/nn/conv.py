@@ -1,0 +1,90 @@
+"""Convolution layers (regular, depthwise, pointwise)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.im2col import conv_output_size
+from repro.nn.module import Module, Parameter
+
+
+class Conv2d(Module):
+    """Standard 2-D convolution layer.
+
+    This is the paper's "regular conv2d" — the operator interval search
+    chooses between this and :class:`repro.deform.DeformConv2d` at every
+    candidate 3×3 site.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, dilation: int = 1,
+                 groups: int = 1, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if in_channels % groups != 0 or out_channels % groups != 0:
+            raise ValueError("channels must be divisible by groups")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.dilation = dilation
+        self.groups = groups
+        shape = (out_channels, in_channels // groups, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_normal(rng, shape))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def forward(self, x):
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride,
+                        padding=self.padding, dilation=self.dilation,
+                        groups=self.groups)
+
+    def output_shape(self, h: int, w: int) -> tuple:
+        return (
+            self.out_channels,
+            conv_output_size(h, self.kernel_size, self.stride, self.padding,
+                             self.dilation),
+            conv_output_size(w, self.kernel_size, self.stride, self.padding,
+                             self.dilation),
+        )
+
+    def macs(self, h: int, w: int) -> int:
+        """Multiply-accumulate count for an (h, w) input — Eq. 9 accounting."""
+        _, oh, ow = self.output_shape(h, w)
+        per_output = (self.in_channels // self.groups) * self.kernel_size ** 2
+        return self.out_channels * oh * ow * per_output
+
+    def __repr__(self) -> str:
+        return (f"Conv2d({self.in_channels}, {self.out_channels}, "
+                f"k={self.kernel_size}, s={self.stride}, p={self.padding}"
+                + (f", g={self.groups}" if self.groups != 1 else "") + ")")
+
+
+class DepthwiseConv2d(Conv2d):
+    """Depth-wise 3×3 convolution — first half of the lightweight offset head."""
+
+    def __init__(self, channels: int, kernel_size: int = 3, stride: int = 1,
+                 padding: int = 1, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(channels, channels, kernel_size, stride=stride,
+                         padding=padding, groups=channels, bias=bias, rng=rng)
+
+    def __repr__(self) -> str:
+        return (f"DepthwiseConv2d({self.in_channels}, k={self.kernel_size}, "
+                f"s={self.stride})")
+
+
+class PointwiseConv2d(Conv2d):
+    """1×1 convolution — second half of the lightweight offset head (Eq. 9)."""
+
+    def __init__(self, in_channels: int, out_channels: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(in_channels, out_channels, 1, bias=bias, rng=rng)
+
+    def __repr__(self) -> str:
+        return f"PointwiseConv2d({self.in_channels}, {self.out_channels})"

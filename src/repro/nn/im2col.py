@@ -1,0 +1,67 @@
+"""im2col / col2im utilities shared by convolution and deformable kernels.
+
+These are the standard lowering used by GPU convolution libraries: a window
+gather turns convolution into one large GEMM.  Both directions are fully
+vectorised; ``col2im`` uses ``np.add.at`` scatter-accumulation which is exact
+for overlapping windows.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int,
+                     dilation: int = 1) -> int:
+    """Output spatial extent of a convolution along one axis."""
+    effective = dilation * (kernel - 1) + 1
+    return (size + 2 * padding - effective) // stride + 1
+
+
+def sample_grid(h: int, w: int, kh: int, kw: int, stride: int, padding: int,
+                dilation: int = 1) -> Tuple[np.ndarray, np.ndarray, int, int]:
+    """Integer sampling coordinates of every kernel tap at every output pixel.
+
+    Returns ``(rows, cols, out_h, out_w)`` where ``rows``/``cols`` have shape
+    ``(kh*kw, out_h*out_w)`` and index into the *padded* input.
+    """
+    out_h = conv_output_size(h, kh, stride, padding, dilation)
+    out_w = conv_output_size(w, kw, stride, padding, dilation)
+    k_r = np.repeat(np.arange(kh) * dilation, kw)
+    k_c = np.tile(np.arange(kw) * dilation, kh)
+    o_r = stride * np.repeat(np.arange(out_h), out_w)
+    o_c = stride * np.tile(np.arange(out_w), out_h)
+    rows = k_r[:, None] + o_r[None, :]
+    cols = k_c[:, None] + o_c[None, :]
+    return rows, cols, out_h, out_w
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int = 1, padding: int = 0,
+           dilation: int = 1) -> np.ndarray:
+    """Lower ``x`` of shape (N, C, H, W) to columns (N, C*kh*kw, out_h*out_w)."""
+    n, c, h, w = x.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    rows, cols, out_h, out_w = sample_grid(h, w, kh, kw, stride, padding, dilation)
+    # Gather: (N, C, kh*kw, out_h*out_w)
+    patches = x[:, :, rows, cols]
+    return patches.reshape(n, c * kh * kw, out_h * out_w)
+
+
+def col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int], kh: int, kw: int,
+           stride: int = 1, padding: int = 0, dilation: int = 1) -> np.ndarray:
+    """Adjoint of :func:`im2col` — scatter-add columns back to an image.
+
+    ``cols`` has shape (N, C*kh*kw, out_h*out_w); returns (N, C, H, W).
+    """
+    n, c, h, w = x_shape
+    hp, wp = h + 2 * padding, w + 2 * padding
+    rows, cols_idx, out_h, out_w = sample_grid(h, w, kh, kw, stride, padding, dilation)
+    x_padded = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    patches = cols.reshape(n, c, kh * kw, out_h * out_w)
+    np.add.at(x_padded, (slice(None), slice(None), rows, cols_idx), patches)
+    if padding:
+        return x_padded[:, :, padding:-padding, padding:-padding]
+    return x_padded

@@ -1,0 +1,147 @@
+"""Module base class: parameter registration, train/eval mode, state dicts."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A Tensor that is a trainable leaf (``requires_grad=True``)."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for all NN layers.
+
+    Mirrors the torch API surface the rest of the codebase relies on:
+    attribute assignment auto-registers parameters and submodules,
+    ``parameters()`` / ``named_parameters()`` iterate recursively, and
+    ``train()`` / ``eval()`` toggle mode flags (BatchNorm cares).
+    """
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Non-trainable state saved in ``state_dict`` (e.g. BN running stats)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def _update_buffer(self, name: str, value: np.ndarray) -> None:
+        if name not in self._buffers:
+            raise KeyError(f"unknown buffer {name!r}")
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        """Compute the layer's output; subclasses must override."""
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield (dotted_name, parameter) for this module and children."""
+        for name, p in self._parameters.items():
+            yield (f"{prefix}{name}", p)
+        for mod_name, mod in self._modules.items():
+            yield from mod.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield every trainable parameter tensor, recursively."""
+        for _, p in self.named_parameters():
+            yield p
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield (dotted_name, module) for this module and all descendants."""
+        yield prefix.rstrip("."), self
+        for name, mod in self._modules.items():
+            yield from mod.named_modules(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all descendants."""
+        for _, m in self.named_modules():
+            yield m
+
+    def children(self) -> Iterator["Module"]:
+        """Iterate over direct child modules."""
+        return iter(self._modules.values())
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (BatchNorm switches statistics)."""
+        object.__setattr__(self, "training", mode)
+        for m in self._modules.values():
+            m.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to inference mode (running BN statistics, no sampling)."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on every parameter."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    # ------------------------------------------------------------------
+    def state_dict(self, prefix: str = "") -> Dict[str, np.ndarray]:
+        """Copy all parameters and buffers into a flat name→array dict."""
+        state: Dict[str, np.ndarray] = {}
+        for name, p in self._parameters.items():
+            state[f"{prefix}{name}"] = p.data.copy()
+        for name, b in self._buffers.items():
+            state[f"{prefix}{name}"] = np.array(b, copy=True)
+        for mod_name, mod in self._modules.items():
+            state.update(mod.state_dict(prefix=f"{prefix}{mod_name}."))
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], prefix: str = "") -> None:
+        """Load parameters/buffers saved by :meth:`state_dict` (strict)."""
+        for name, p in self._parameters.items():
+            key = f"{prefix}{name}"
+            if key not in state:
+                raise KeyError(f"missing parameter {key!r} in state dict")
+            if state[key].shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {key!r}: "
+                    f"{state[key].shape} vs {p.data.shape}"
+                )
+            p.data = state[key].astype(p.data.dtype).copy()
+        for name in self._buffers:
+            key = f"{prefix}{name}"
+            if key in state:
+                self._update_buffer(name, np.array(state[key], copy=True))
+        for mod_name, mod in self._modules.items():
+            mod.load_state_dict(state, prefix=f"{prefix}{mod_name}.")
+
+    def __repr__(self) -> str:
+        lines = [self.__class__.__name__ + "("]
+        for name, mod in self._modules.items():
+            mod_repr = repr(mod).replace("\n", "\n  ")
+            lines.append(f"  ({name}): {mod_repr}")
+        lines.append(")")
+        return "\n".join(lines) if len(lines) > 2 else self.__class__.__name__ + "()"

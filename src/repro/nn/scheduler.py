@@ -1,0 +1,58 @@
+"""Learning-rate schedules."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.nn.optim import Optimizer
+
+
+class LRScheduler:
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.step_count = 0
+
+    def step(self) -> None:
+        self.step_count += 1
+        self.optimizer.lr = self.get_lr()
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+
+class MultiStepLR(LRScheduler):
+    """Decay the LR by ``gamma`` at each milestone, floored at ``min_lr``.
+
+    With ``gamma=0.1`` and a 1e-6 floor this is the paper's training recipe
+    (initial 1e-2, ×0.1 at selected iterations, saturating at 1e-6).
+    """
+
+    def __init__(self, optimizer: Optimizer, milestones: Sequence[int],
+                 gamma: float = 0.1, min_lr: float = 1e-6):
+        super().__init__(optimizer)
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+        self.min_lr = min_lr
+
+    def get_lr(self) -> float:
+        decays = sum(1 for m in self.milestones if self.step_count >= m)
+        return max(self.base_lr * self.gamma**decays, self.min_lr)
+
+
+class CosineLR(LRScheduler):
+    """Cosine annealing over ``total_steps`` — used for NAS fine-tuning."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int,
+                 min_lr: float = 1e-6):
+        super().__init__(optimizer)
+        self.total_steps = max(1, total_steps)
+        self.min_lr = min_lr
+
+    def get_lr(self) -> float:
+        import math
+
+        t = min(self.step_count, self.total_steps) / self.total_steps
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1 + math.cos(math.pi * t)
+        )

@@ -1,0 +1,35 @@
+"""DEFCON end-to-end pipeline: configs, training, latency model, reporting."""
+
+from repro.pipeline.config import TABLE3_ROWS, TABLE5_ROWS, DefconConfig
+from repro.pipeline.geometry import (NetworkGeometry, candidate_site_configs,
+                                     fixed_conv_configs, paper_scale_geometry)
+from repro.pipeline.inference import (DCN_SAMPLE_SCALE, ENGINE_SPEEDUP,
+                                      LatencyBreakdown, conv_ms,
+                                      deform_op_ms, network_latency_ms,
+                                      offset_head_ms, profile_network)
+from repro.pipeline.losses import (LossWeights, build_targets,
+                                   classification_loss, detection_loss)
+from repro.pipeline.train import (TrainConfig, TrainLog, evaluate_classifier,
+                                  evaluate_detector, train_classifier,
+                                  train_detector)
+from repro.pipeline.experiment import (AccuracyExperiment, AccuracyRow,
+                                       ExperimentSettings)
+from repro.pipeline.engine import DefconEngine, TextureRuntime
+from repro.pipeline.reporting import (format_placement_diagram,
+                                      format_speedup_bars, format_table,
+                                      markdown_table)
+
+__all__ = [
+    "DefconConfig", "TABLE3_ROWS", "TABLE5_ROWS",
+    "NetworkGeometry", "paper_scale_geometry", "candidate_site_configs",
+    "fixed_conv_configs",
+    "LatencyBreakdown", "network_latency_ms", "conv_ms", "deform_op_ms",
+    "offset_head_ms", "profile_network", "DCN_SAMPLE_SCALE", "ENGINE_SPEEDUP",
+    "detection_loss", "classification_loss", "build_targets", "LossWeights",
+    "TrainConfig", "TrainLog", "train_detector", "evaluate_detector",
+    "train_classifier", "evaluate_classifier",
+    "AccuracyExperiment", "AccuracyRow", "ExperimentSettings",
+    "DefconEngine", "TextureRuntime",
+    "format_table", "format_speedup_bars", "format_placement_diagram",
+    "markdown_table",
+]

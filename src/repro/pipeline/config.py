@@ -1,0 +1,71 @@
+"""DEFCON optimisation configurations (the flag matrix of Table III)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.deform.offsets import DEFAULT_BOUND
+
+
+@dataclass(frozen=True)
+class DefconConfig:
+    """One row of the paper's optimisation matrix.
+
+    ``search``      — interval-searched placement (else manual interval-3);
+    ``boundary``    — bounded deformation with P = 7;
+    ``lightweight`` — depthwise+1×1 offset head;
+    ``tex``         — inference backend: None (PyTorch), 'tex2d', 'tex2dpp';
+    ``rounded`` / ``regularization`` — the Table V offset ablations.
+    """
+
+    search: bool = False
+    boundary: bool = False
+    lightweight: bool = False
+    tex: Optional[str] = None
+    rounded: bool = False
+    regularization: bool = False
+
+    @property
+    def bound(self) -> Optional[float]:
+        return DEFAULT_BOUND if self.boundary else None
+
+    @property
+    def backend(self) -> str:
+        return self.tex if self.tex else "pytorch"
+
+    def label(self) -> str:
+        bits = []
+        if self.search:
+            bits.append("search")
+        if self.boundary:
+            bits.append("boundary")
+        if self.lightweight:
+            bits.append("light")
+        if self.tex:
+            bits.append(self.tex)
+        if self.rounded:
+            bits.append("round")
+        if self.regularization:
+            bits.append("reg")
+        return "+".join(bits) if bits else "baseline"
+
+
+#: The six rows of Table III (tex column covers both tex2D and tex2D++ —
+#: the bench reports both backends for each checked row).
+TABLE3_ROWS: List[DefconConfig] = [
+    DefconConfig(),                                             # YOLACT++
+    DefconConfig(search=True),
+    DefconConfig(search=True, tex="tex2d"),
+    DefconConfig(search=True, boundary=True, tex="tex2d"),
+    DefconConfig(search=True, lightweight=True, tex="tex2d"),
+    DefconConfig(search=True, boundary=True, lightweight=True, tex="tex2d"),
+]
+
+#: Table V rows: offset-policy ablations on the searched model.
+TABLE5_ROWS: List[DefconConfig] = [
+    DefconConfig(search=True, boundary=True, lightweight=True),
+    DefconConfig(search=True, boundary=True, lightweight=True,
+                 regularization=True),
+    DefconConfig(search=True, boundary=True, lightweight=True, rounded=True),
+]

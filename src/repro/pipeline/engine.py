@@ -1,0 +1,132 @@
+"""DefconEngine — run a *trained* model through the simulated GPU backends.
+
+This is the deployment story of the paper, end to end: take the network
+the interval search produced, bind its deformable layers to the tex2D /
+tex2D++ kernels (with autotuned tiles), and run real inference — the
+layers execute with their *learned* offsets through the functional texture
+unit, so the engine simultaneously produces:
+
+* the model's actual detections (numerics go through 1.8 fixed-point
+  hardware filtering — accuracy parity is observable, not assumed), and
+* an nvprof-style :class:`~repro.gpusim.profiler.ProfileLog` of every
+  deformable kernel launch, from which per-image deformable latency and
+  Fig. 10 counters fall out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.autotune.tuner import TileTuner
+from repro.deform.layers import DeformConv2d
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.profiler import ProfileLog
+from repro.kernels.config import LayerConfig
+from repro.kernels.dispatch import run_deform_op
+from repro.kernels.tex2d import DEFAULT_TILE
+from repro.nn import Module
+from repro.tensor import Tensor
+
+
+@dataclass
+class TextureRuntime:
+    """Per-layer execution binding installed on DeformConv2d modules."""
+
+    spec: DeviceSpec
+    backend: str
+    log: ProfileLog
+    tiles: Dict[Tuple[int, ...], Tuple[int, int]] = field(
+        default_factory=dict)
+    default_tile: Tuple[int, int] = DEFAULT_TILE
+
+    def execute(self, layer: DeformConv2d, x: Tensor,
+                offsets: Tensor) -> Tensor:
+        n, c, h, w = x.shape
+        cfg = LayerConfig(
+            in_channels=c, out_channels=layer.out_channels,
+            height=h, width=w, kernel_size=layer.kernel_size,
+            stride=layer.stride, padding=layer.padding,
+            dilation=layer.dilation,
+            deformable_groups=layer.deformable_groups, batch=n)
+        tile = self.tiles.get((c, h, w, layer.stride), self.default_tile)
+        bias = layer.bias.data if layer.bias is not None else None
+        res = run_deform_op(self.backend, x.data.astype(np.float32),
+                            offsets.data.astype(np.float32),
+                            layer.weight.data, bias, cfg, self.spec,
+                            tile=tile, compute_output=True)
+        for k in res.kernels:
+            self.log.add(k)
+        return Tensor(res.output.astype(np.float32))
+
+
+class DefconEngine:
+    """Bind a model's deformable layers to a simulated kernel backend."""
+
+    def __init__(self, model: Module, spec: DeviceSpec,
+                 backend: str = "tex2dpp", autotune: bool = False,
+                 tune_budget: int = 10, seed: int = 0):
+        self.model = model
+        self.spec = spec
+        self.backend = backend
+        self.log = ProfileLog()
+        self._runtime = TextureRuntime(spec=spec, backend=backend,
+                                       log=self.log)
+        self._layers = [m for m in model.modules()
+                        if isinstance(m, DeformConv2d)]
+        if autotune and backend in ("tex2d", "tex2dpp"):
+            self._autotune_tiles(tune_budget, seed)
+
+    # ------------------------------------------------------------------
+    def _autotune_tiles(self, budget: int, seed: int) -> None:
+        """Tune one tile per distinct layer geometry (offline, Fig. 8)."""
+        tuner = TileTuner(self.spec, backend=self.backend, budget=budget,
+                          seed=seed)
+        input_size = getattr(self.model, "input_size", None)
+        backbone = getattr(self.model, "backbone", None)
+        if backbone is None or input_size is None:
+            return
+        for spec_site, mod in backbone.candidate_sites():
+            if not isinstance(mod, DeformConv2d):
+                continue
+            cfg = spec_site.layer_config()
+            key = (cfg.in_channels, cfg.height, cfg.width, cfg.stride)
+            if key not in self._runtime.tiles:
+                self._runtime.tiles[key] = tuner.best_tile(cfg)
+
+    @property
+    def num_deformable_layers(self) -> int:
+        return len(self._layers)
+
+    @property
+    def tiles(self) -> Dict[Tuple[int, ...], Tuple[int, int]]:
+        return dict(self._runtime.tiles)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "DefconEngine":
+        for layer in self._layers:
+            layer.texture_runtime = self._runtime
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for layer in self._layers:
+            layer.texture_runtime = None
+
+    # ------------------------------------------------------------------
+    def detect(self, images: np.ndarray, **kwargs):
+        """Run detection with the deformable layers on the bound backend."""
+        with self:
+            return self.model.detect(images, **kwargs)
+
+    def classify(self, images: np.ndarray) -> np.ndarray:
+        with self:
+            return self.model.predict(images)
+
+    def deformable_latency_ms(self) -> float:
+        """Accumulated simulated time of all deformable kernel launches."""
+        return self.log.total_ms
+
+    def nvprof_rows(self):
+        return self.log.summary_rows()

@@ -1,0 +1,122 @@
+"""Paper-scale network geometry for end-to-end latency evaluation.
+
+Accuracy experiments run on the scaled-down backbones (they must train in
+seconds), but *latency* does not need training — so the end-to-end latency
+model evaluates the true YOLACT++ geometry: ResNet-101 at 550×550 input,
+whose candidate 3×3 shapes are exactly the paper's Table II rows
+(128@138/69, 256@69/35, 512@35/18).
+
+A scaled backbone's placement vector maps 1:1 onto this geometry through
+``site_configs``: the scaled model has fewer blocks per stage, so its n-th
+searchable site corresponds to the n-th entry of the compressed stage
+layout here (same stages, same stride pattern, paper channels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.kernels.config import LayerConfig
+from repro.models.resnet import STAGE_BLOCKS
+
+#: paper-scale channel width of the candidate 3×3 conv per stage
+STAGE_WIDTH = {3: 128, 4: 256, 5: 512}
+#: feature extent entering the stage (550-input YOLACT++ ResNet)
+STAGE_INPUT_SIZE = {3: 138, 4: 69, 5: 35}
+#: deformable-group granularity: offsets shared per 4-channel group.  This
+#: makes the offset head comparable in cost to the main convolution at
+#: paper scale, which is what the paper's Table III "Light" row implies
+#: (replacing the offset conv halves the end-to-end time) — see
+#: EXPERIMENTS.md for the full derivation.
+CHANNELS_PER_OFFSET_GROUP = 4
+
+
+@dataclass(frozen=True)
+class NetworkGeometry:
+    """Fixed conv workload + candidate-site shapes of one network."""
+
+    name: str
+    candidate_sites: List[LayerConfig]
+    #: everything that is never searched: stem, stage-2, the 1×1 convs of
+    #: the bottlenecks, downsample projections, FPN, protonet, heads
+    fixed_convs: List[LayerConfig] = field(default_factory=list)
+
+    @property
+    def num_sites(self) -> int:
+        return len(self.candidate_sites)
+
+
+def candidate_site_configs(arch: str = "r101s",
+                           deformable_groups_per_site: bool = True
+                           ) -> List[LayerConfig]:
+    """Paper-scale LayerConfig of each searchable 3×3 site of ``arch``."""
+    blocks = STAGE_BLOCKS[arch]
+    sites: List[LayerConfig] = []
+    for stage, num_blocks in zip((3, 4, 5), blocks[1:]):
+        width = STAGE_WIDTH[stage]
+        size = STAGE_INPUT_SIZE[stage]
+        dg = max(1, width // CHANNELS_PER_OFFSET_GROUP) \
+            if deformable_groups_per_site else 1
+        for block in range(num_blocks):
+            stride = 2 if block == 0 else 1
+            h = size if block == 0 else size // 2
+            sites.append(LayerConfig(
+                in_channels=width, out_channels=width, height=h, width=h,
+                stride=stride, deformable_groups=dg))
+    return sites
+
+
+def fixed_conv_configs(arch: str = "r101s") -> List[LayerConfig]:
+    """The non-searchable conv workload of the paper-scale network."""
+    blocks = STAGE_BLOCKS[arch]
+    convs: List[LayerConfig] = []
+    # Stem: 7×7/2 on 550² (modelled as its MAC-equivalent 3×3 workload).
+    convs.append(LayerConfig(3, 64, 550, 550, kernel_size=7, stride=2,
+                             padding=3))
+    # Stage 2: width 64, out 256, at 138².
+    in_ch = 64
+    for block in range(blocks[0]):
+        convs.append(LayerConfig(in_ch, 64, 138, 138, kernel_size=1, padding=0))
+        convs.append(LayerConfig(64, 64, 138, 138))
+        convs.append(LayerConfig(64, 256, 138, 138, kernel_size=1, padding=0))
+        in_ch = 256
+    # Stages 3–5: the 1×1 reduce/expand convs around every candidate site.
+    in_ch = 256
+    for stage, num_blocks in zip((3, 4, 5), blocks[1:]):
+        width = STAGE_WIDTH[stage]
+        size = STAGE_INPUT_SIZE[stage]
+        for block in range(num_blocks):
+            h_in = size if block == 0 else size // 2
+            h_out = size // 2
+            convs.append(LayerConfig(in_ch, width, h_in, h_in,
+                                     kernel_size=1, padding=0))
+            convs.append(LayerConfig(width, width * 4, h_out, h_out,
+                                     kernel_size=1, padding=0))
+            if block == 0:
+                convs.append(LayerConfig(in_ch, width * 4, h_in, h_in,
+                                         kernel_size=1, stride=2, padding=0))
+            in_ch = width * 4
+    # FPN laterals + smooth (256-channel pyramid, as in YOLACT).
+    for ch, size in ((512, 69), (1024, 35), (2048, 18)):
+        convs.append(LayerConfig(ch, 256, size, size, kernel_size=1, padding=0))
+    for size in (69, 35, 18):
+        convs.append(LayerConfig(256, 256, size, size))
+    # ProtoNet: three 3×3 convs + projection at P3 scale.
+    for _ in range(3):
+        convs.append(LayerConfig(256, 256, 69, 69))
+    convs.append(LayerConfig(256, 32, 138, 138, kernel_size=1, padding=0))
+    # Prediction heads on P3–P5.
+    for size in (69, 35, 18):
+        convs.append(LayerConfig(256, 256, size, size))
+        convs.append(LayerConfig(256, 3 * (81 + 4 + 32), size, size))
+    return convs
+
+
+def paper_scale_geometry(arch: str = "r101s") -> NetworkGeometry:
+    """The end-to-end latency workload for one scaled architecture."""
+    return NetworkGeometry(
+        name=f"yolact++-{arch}@550",
+        candidate_sites=candidate_site_configs(arch),
+        fixed_convs=fixed_conv_configs(arch),
+    )

@@ -1,0 +1,148 @@
+"""Training losses for YolactLite and the classification proxy.
+
+The detection loss follows YOLACT's recipe in miniature: per-cell
+objectness (BCE), classification (CE) and box regression (smooth-L1) at
+cells containing an instance centre, plus a prototype-assembly mask loss
+(BCE of the coefficient-combined prototypes against the downsampled GT
+mask) — the part that actually exercises the backbone's spatial features
+and therefore the deformable convolutions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.tensor import Tensor
+from repro.nn import functional as F
+from repro.data.shapes import Sample
+from repro.models.yolact import CELL_RANGE
+
+
+@dataclass(frozen=True)
+class LossWeights:
+    obj: float = 1.0
+    cls: float = 1.0
+    box: float = 5.0
+    mask: float = 4.0
+    #: positive cells are ~1 % of the grid; without re-weighting the
+    #: objectness head collapses to "no object everywhere"
+    obj_pos_weight: float = 12.0
+
+
+def build_targets(samples: Sequence[Sample], grid: int, size: int):
+    """Assign each GT instance to the grid cell containing its centre.
+
+    Returns parallel index arrays plus per-positive targets, and the dense
+    objectness target map.
+    """
+    b_idx, gy_idx, gx_idx, labels = [], [], [], []
+    boxes, masks = [], []
+    obj_target = np.zeros((len(samples), grid, grid), dtype=np.float32)
+    # Dense classification supervision (FCOS-style): every cell whose
+    # centre falls inside a GT box carries that instance's label.  The
+    # centre cell alone gives the class head ~1 gradient per object per
+    # step — far too sparse to generalise.
+    cls_dense = np.full((len(samples), grid, grid), -1, dtype=np.int64)
+    cell = size / grid
+    for i, sample in enumerate(samples):
+        for inst in sample.instances:
+            x1, y1, x2, y2 = inst.box
+            cx, cy = (x1 + x2) / 2, (y1 + y2) / 2
+            gx = min(grid - 1, int(cx / cell))
+            gy = min(grid - 1, int(cy / cell))
+            gx1 = max(0, int(np.ceil(x1 / cell - 0.5)))
+            gx2 = min(grid, int(np.floor(x2 / cell - 0.5)) + 1)
+            gy1 = max(0, int(np.ceil(y1 / cell - 0.5)))
+            gy2 = min(grid, int(np.floor(y2 / cell - 0.5)) + 1)
+            cls_dense[i, gy1:gy2, gx1:gx2] = inst.label
+            if obj_target[i, gy, gx] > 0:
+                continue  # one instance per cell (rare at this density)
+            obj_target[i, gy, gx] = 1.0
+            b_idx.append(i)
+            gy_idx.append(gy)
+            gx_idx.append(gx)
+            labels.append(inst.label)
+            # cell-relative centre encoding (see models.yolact.CELL_RANGE)
+            tx = (cx / cell - gx - 0.5) / CELL_RANGE + 0.5
+            ty = (cy / cell - gy - 0.5) / CELL_RANGE + 0.5
+            boxes.append([tx, ty, (x2 - x1) / size, (y2 - y1) / size])
+            masks.append(inst.mask)
+    return (np.array(b_idx), np.array(gy_idx), np.array(gx_idx),
+            np.array(labels), np.array(boxes, dtype=np.float32).reshape(-1, 4),
+            masks, obj_target, cls_dense)
+
+
+def _downsample_mask(mask: np.ndarray, factor: int) -> np.ndarray:
+    """Block-mean downsample of a boolean mask to the prototype grid."""
+    h, w = mask.shape
+    m = mask[: h - h % factor, : w - w % factor].astype(np.float32)
+    m = m.reshape(h // factor, factor, w // factor, factor).mean(axis=(1, 3))
+    return (m > 0.3).astype(np.float32)
+
+
+def detection_loss(out: dict, samples: Sequence[Sample], size: int,
+                   weights: LossWeights = LossWeights()) -> Tensor:
+    """Total YOLACT-style loss for one minibatch."""
+    grid = out["obj"].shape[-1]
+    (b, gy, gx, labels, boxes, masks, obj_t, cls_dense) = build_targets(
+        samples, grid, size)
+
+    # Objectness everywhere, with positives re-weighted: per-element BCE
+    # scaled by (1 + (w-1)·target) and averaged.
+    obj_logits = out["obj"].reshape(out["obj"].shape[0], grid, grid)
+    obj_target = Tensor(obj_t)
+    per_cell = (obj_logits.relu() - obj_logits * obj_target
+                + ((-obj_logits.abs()).exp() + 1.0).log())
+    cell_weights = Tensor(
+        1.0 + (weights.obj_pos_weight - 1.0) * obj_t)
+    loss = (per_cell * cell_weights).mean() * weights.obj
+
+    if len(b) == 0:
+        return loss
+
+    # Classification, densely over all in-box cells.
+    db, dgy, dgx = np.nonzero(cls_dense >= 0)
+    dense_labels = cls_dense[db, dgy, dgx]
+    cls_logits = out["cls"].transpose(0, 2, 3, 1)[db, dgy, dgx]
+    loss = loss + F.cross_entropy(cls_logits, dense_labels) * weights.cls
+
+    # Boxes at positive cells: sigmoid(raw) vs normalised targets.
+    box_pred = out["box"].transpose(0, 2, 3, 1)[b, gy, gx].sigmoid()
+    loss = loss + F.smooth_l1(box_pred, boxes, beta=0.1) * weights.box
+
+    # Masks: assemble prototypes with this cell's coefficients.  As in
+    # YOLACT, the mask BCE is cropped to the ground-truth box and divided
+    # by its area — the prototypes only need to model object interiors;
+    # inference crops to the predicted box.
+    proto = out["proto"]                       # (N, K, Hp, Wp)
+    hp = proto.shape[-1]
+    factor = size // hp
+    coef = out["coef"].transpose(0, 2, 3, 1)[b, gy, gx]     # (M, K)
+    m = len(b)
+    proto_sel = proto[b]                                     # (M, K, Hp, Wp)
+    mask_logits = (proto_sel * coef.reshape(m, -1, 1, 1)).sum(axis=1)
+    if "mask_bias" in out:
+        mask_logits = mask_logits + out["mask_bias"]
+    mask_targets = np.stack([_downsample_mask(mk, factor) for mk in masks])
+    crop = np.zeros_like(mask_targets)
+    for j, mk in enumerate(masks):
+        ys_m, xs_m = np.nonzero(mk)
+        pad = 2 * factor
+        y1 = max(0, (ys_m.min() - pad) // factor)
+        y2 = min(hp, (ys_m.max() + pad) // factor + 1)
+        x1 = max(0, (xs_m.min() - pad) // factor)
+        x2 = min(hp, (xs_m.max() + pad) // factor + 1)
+        crop[j, y1:y2, x1:x2] = 1.0 / max(1, (y2 - y1) * (x2 - x1))
+    x_l = mask_logits
+    t_m = Tensor(mask_targets)
+    per_pixel = (x_l.relu() - x_l * t_m + ((-x_l.abs()).exp() + 1.0).log())
+    mask_loss = (per_pixel * Tensor(crop / m)).sum()
+    loss = loss + mask_loss * weights.mask
+    return loss
+
+
+def classification_loss(logits: Tensor, labels: np.ndarray) -> Tensor:
+    return F.cross_entropy(logits, labels)

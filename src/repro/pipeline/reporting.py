@@ -1,0 +1,79 @@
+"""Paper-style table and figure formatting (plain-text, terminal friendly).
+
+Every bench prints through these helpers so the output lines up with the
+corresponding table/figure of the paper, making side-by-side comparison
+(EXPERIMENTS.md) mechanical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in str_rows)) if str_rows
+              else len(h) for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else ""
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_speedup_bars(labels: Sequence[str], values: Sequence[float],
+                        title: str = "", width: int = 40,
+                        unit: str = "x") -> str:
+    """ASCII bar chart — the textual analogue of the paper's bar figures."""
+    if not values:
+        return title
+    peak = max(values)
+    lines = [title] if title else []
+    label_w = max(len(l) for l in labels)
+    for label, v in zip(labels, values):
+        bar = "#" * max(1, int(round(width * v / peak)))
+        lines.append(f"{label.rjust(label_w)} | {bar} {v:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def format_placement_diagram(placement: Sequence[bool],
+                             stage_sizes: Sequence[int],
+                             label: str = "") -> str:
+    """Fig. 6-style block diagram: one box per candidate 3×3 site.
+
+    ``[D]`` marks a deformable site, ``[.]`` a regular conv; ``|`` separates
+    backbone stages.
+    """
+    out = []
+    idx = 0
+    for n in stage_sizes:
+        boxes = "".join("[D]" if placement[idx + j] else "[.]"
+                        for j in range(n))
+        out.append(boxes)
+        idx += n
+    body = " | ".join(out)
+    prefix = f"{label}: " if label else ""
+    return f"{prefix}{body}  ({sum(placement)} DCNs)"
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """GitHub-flavoured markdown table (for EXPERIMENTS.md extracts)."""
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in str_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

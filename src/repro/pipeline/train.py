@@ -1,0 +1,153 @@
+"""Training and evaluation loops.
+
+Mirrors the paper's recipe in miniature: SGD with momentum 0.9, initial LR
+1e-2 with step decay (MultiStepLR, floor 1e-6).  All loops are seeded and
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.tensor import Tensor
+from repro.nn import SGD, Adam, MultiStepLR
+from repro.data.coco_map import EvalResult, GroundTruth, evaluate_map
+from repro.data.dataset import ShapesDataset, classification_arrays
+from repro.models.classifier import ShapeClassifier
+from repro.models.yolact import YolactLite
+from repro.pipeline.losses import classification_loss, detection_loss
+
+
+@dataclass
+class TrainConfig:
+    """Training hyperparameters.
+
+    The paper trains full-scale YOLACT++ with SGD (momentum 0.9, LR 1e-2
+    stepped down to 1e-6).  At the reproduction's scale (hundreds of
+    images, minutes of training) Adam converges several times faster to
+    the same orderings, so it is the default; ``optimizer='sgd'`` restores
+    the paper's recipe.
+    """
+
+    epochs: int = 8
+    batch_size: int = 16
+    optimizer: str = "adam"
+    lr: float = 2e-3
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    milestone_fractions: tuple = (0.6, 0.85)
+    seed: int = 0
+
+    def build_optimizer(self, params):
+        if self.optimizer == "adam":
+            return Adam(params, lr=self.lr,
+                        weight_decay=self.weight_decay)
+        if self.optimizer == "sgd":
+            return SGD(params, lr=self.lr, momentum=self.momentum,
+                       weight_decay=self.weight_decay)
+        raise ValueError(f"unknown optimizer {self.optimizer!r}")
+
+
+@dataclass
+class TrainLog:
+    losses: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+def train_detector(model: YolactLite, dataset: ShapesDataset,
+                   config: TrainConfig = TrainConfig(),
+                   extra_loss: Optional[Callable[[YolactLite], Tensor]] = None,
+                   progress: Optional[Callable[[str], None]] = None
+                   ) -> TrainLog:
+    """Train YolactLite on the shapes dataset.
+
+    ``extra_loss`` hooks auxiliary penalties into every step — e.g. the
+    offset-regularisation term of Table V.
+    """
+    opt = config.build_optimizer(model.parameters())
+    steps_per_epoch = max(1, int(np.ceil(len(dataset) / config.batch_size)))
+    total = config.epochs * steps_per_epoch
+    sched = MultiStepLR(opt, [int(f * total)
+                              for f in config.milestone_fractions])
+    log = TrainLog()
+    model.train()
+    for epoch in range(config.epochs):
+        for images, samples in dataset.batches(config.batch_size,
+                                               seed=config.seed + epoch):
+            out = model(Tensor(images))
+            loss = detection_loss(out, samples, dataset.size)
+            if extra_loss is not None:
+                aux = extra_loss(model)
+                if aux is not None:
+                    loss = loss + aux
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            sched.step()
+            log.losses.append(float(loss.item()))
+        if progress is not None:
+            progress(f"epoch {epoch + 1}/{config.epochs} "
+                     f"loss={log.losses[-1]:.4f}")
+    return log
+
+
+def evaluate_detector(model: YolactLite, dataset: ShapesDataset,
+                      score_threshold: float = 0.05,
+                      batch_size: int = 16) -> EvalResult:
+    """COCO-style box/mask mAP of the model on a dataset."""
+    dets, gts = [], []
+    image_id = 0
+    for images, samples in dataset.batches(batch_size):
+        ids = list(range(image_id, image_id + len(samples)))
+        dets.extend(model.detect(images, score_threshold=score_threshold,
+                                 image_ids=ids))
+        for i, sample in zip(ids, samples):
+            for inst in sample.instances:
+                gts.append(GroundTruth(image_id=i, label=inst.label,
+                                       box=np.array(inst.box),
+                                       mask=inst.mask))
+        image_id += len(samples)
+    return evaluate_map(dets, gts)
+
+
+def train_classifier(model: ShapeClassifier, dataset: ShapesDataset,
+                     config: TrainConfig = TrainConfig(),
+                     progress: Optional[Callable[[str], None]] = None
+                     ) -> TrainLog:
+    """Train the classification proxy on single-instance samples."""
+    xs, ys = classification_arrays(dataset)
+    opt = config.build_optimizer(model.parameters())
+    steps_per_epoch = max(1, int(np.ceil(len(xs) / config.batch_size)))
+    total = config.epochs * steps_per_epoch
+    sched = MultiStepLR(opt, [int(f * total)
+                              for f in config.milestone_fractions])
+    log = TrainLog()
+    rng = np.random.default_rng(config.seed)
+    model.train()
+    for epoch in range(config.epochs):
+        order = rng.permutation(len(xs))
+        for start in range(0, len(xs), config.batch_size):
+            idx = order[start:start + config.batch_size]
+            logits = model(Tensor(xs[idx]))
+            loss = classification_loss(logits, ys[idx])
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            sched.step()
+            log.losses.append(float(loss.item()))
+        if progress is not None:
+            progress(f"epoch {epoch + 1}/{config.epochs} "
+                     f"loss={log.losses[-1]:.4f}")
+    return log
+
+
+def evaluate_classifier(model: ShapeClassifier,
+                        dataset: ShapesDataset) -> float:
+    xs, ys = classification_arrays(dataset)
+    return model.accuracy(xs, ys)

@@ -1,0 +1,17 @@
+"""Reverse-mode autograd engine over NumPy arrays.
+
+This subpackage provides the training substrate the paper's interval search
+(Section III-A) requires: a :class:`~repro.tensor.tensor.Tensor` wrapping a
+``numpy.ndarray`` with a dynamically built computation graph, and a library
+of differentiable operations (elementwise math, reductions, shape ops,
+matmul).  Convolution primitives live in :mod:`repro.nn.functional` and the
+deformable-convolution primitive in :mod:`repro.deform.deform_conv`; both
+register custom backward rules through :func:`repro.tensor.autograd.backward_op`.
+"""
+
+from repro.tensor.tensor import (Tensor, concat, grad_scale,
+                                 is_grad_enabled, no_grad, stack, tensor)
+from repro.tensor.autograd import backward_op
+
+__all__ = ["Tensor", "tensor", "no_grad", "is_grad_enabled",
+           "backward_op", "stack", "concat", "grad_scale"]

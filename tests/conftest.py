@@ -1,0 +1,6 @@
+"""Test configuration: make tests/ importable as a helper namespace."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

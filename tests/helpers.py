@@ -1,0 +1,53 @@
+"""Shared test utilities: finite-difference gradient checking."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+def numerical_gradient(f: Callable[[], float], var: Tensor,
+                       eps: float = 1e-3) -> np.ndarray:
+    """Central finite differences of scalar ``f()`` w.r.t. ``var.data``."""
+    grad = np.zeros_like(var.data, dtype=np.float64)
+    it = np.nditer(var.data, flags=["multi_index"])
+    for _ in it:
+        idx = it.multi_index
+        old = var.data[idx]
+        var.data[idx] = old + eps
+        fp = f()
+        var.data[idx] = old - eps
+        fm = f()
+        var.data[idx] = old
+        grad[idx] = (fp - fm) / (2 * eps)
+    return grad
+
+
+def check_gradients(make_output: Callable[[], Tensor],
+                    variables: Sequence[Tensor], tol: float = 3e-2,
+                    eps: float = 1e-3) -> None:
+    """Assert analytic gradients of ``sum(make_output())`` match numerics.
+
+    ``make_output`` must rebuild the graph from the ``variables`` (reading
+    their current ``.data``) on every call.
+    """
+    for v in variables:
+        v.grad = None
+    out = make_output()
+    out.sum().backward()
+    analytic = {id(v): (v.grad.copy() if v.grad is not None else None)
+                for v in variables}
+    for v in variables:
+        assert analytic[id(v)] is not None, "missing analytic gradient"
+        num = numerical_gradient(lambda: float(make_output().data.sum()),
+                                 v, eps=eps)
+        scale = max(1.0, np.abs(num).max())
+        err = np.abs(num - analytic[id(v)]).max() / scale
+        assert err < tol, f"gradient mismatch: rel err {err:.4g} > {tol}"
+
+
+def rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)

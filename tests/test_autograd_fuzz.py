@@ -1,0 +1,80 @@
+"""Fuzzed gradient checks: random composite expressions through the engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor
+
+from helpers import check_gradients, rng
+
+# Unary ops that are smooth on the chosen input range (0.3, 2.0).
+UNARY = ["exp", "log", "sqrt", "tanh", "sigmoid", "relu"]
+BINARY = ["add", "mul", "div"]
+
+
+def apply_unary(t: Tensor, name: str) -> Tensor:
+    return getattr(t, name)()
+
+
+def apply_binary(a: Tensor, b: Tensor, name: str) -> Tensor:
+    if name == "add":
+        return a + b
+    if name == "mul":
+        return a * b
+    return a / (b + 3.0)   # keep the denominator away from zero
+
+
+@given(ops=st.lists(st.sampled_from(UNARY + BINARY), min_size=1,
+                    max_size=5),
+       seed=st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_random_expression_gradients(ops, seed):
+    g = rng(seed)
+    x = Tensor(g.uniform(0.3, 2.0, size=(3, 4)), requires_grad=True)
+    y = Tensor(g.uniform(0.3, 2.0, size=(3, 4)), requires_grad=True)
+
+    def build():
+        a, b = x, y
+        for name in ops:
+            if name in UNARY:
+                a = apply_unary(a, name)
+            else:
+                a = apply_binary(a, b, name)
+        return (a * a).mean()
+
+    out = build()
+    if not np.isfinite(out.data).all():
+        return  # expression overflowed — not a gradient question
+    variables = [x]
+    if any(name in BINARY for name in ops):
+        variables.append(y)   # y only enters through binary ops
+    check_gradients(build, variables, tol=5e-2)
+
+
+@given(seed=st.integers(0, 500), axis=st.sampled_from([0, 1, None]))
+@settings(max_examples=30, deadline=None)
+def test_reduction_then_broadcast_gradients(seed, axis):
+    g = rng(seed)
+    x = Tensor(g.uniform(0.5, 1.5, size=(4, 5)), requires_grad=True)
+
+    def build():
+        m = x.mean(axis=axis, keepdims=axis is not None)
+        return ((x - m) ** 2).sum()
+
+    check_gradients(build, [x], tol=5e-2)
+
+
+@given(seed=st.integers(0, 500))
+@settings(max_examples=20, deadline=None)
+def test_matmul_chain_gradients(seed):
+    g = rng(seed)
+    a = Tensor(g.normal(size=(3, 4)) * 0.5, requires_grad=True)
+    b = Tensor(g.normal(size=(4, 2)) * 0.5, requires_grad=True)
+    c = Tensor(g.normal(size=(2, 3)) * 0.5, requires_grad=True)
+
+    def build():
+        return ((a @ b @ c).tanh() ** 2).mean()
+
+    check_gradients(build, [a, b, c], tol=5e-2)

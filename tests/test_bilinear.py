@@ -1,0 +1,110 @@
+"""Bilinear interpolation (Eq. 3) — oracle, boundaries, gradients."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deform.bilinear import (bilinear_gradients, bilinear_kernel_1d,
+                                   bilinear_sample, bilinear_sample_reference,
+                                   corner_weights, gather_zero_pad)
+
+from helpers import rng
+
+
+class TestKernel:
+    def test_kernel_peak_at_zero_distance(self):
+        assert bilinear_kernel_1d(np.array(2.0), np.array(2.0)) == 1.0
+
+    def test_kernel_zero_beyond_one(self):
+        assert bilinear_kernel_1d(np.array(0.0), np.array(1.5)) == 0.0
+
+    @given(st.floats(-3, 3), st.floats(-3, 3))
+    @settings(max_examples=50, deadline=None)
+    def test_kernel_bounds(self, p, q):
+        v = float(bilinear_kernel_1d(np.array(p), np.array(q)))
+        assert 0.0 <= v <= 1.0
+
+
+class TestSample:
+    def test_integer_positions_exact(self):
+        img = rng(0).normal(size=(4, 5)).astype(np.float32)
+        py = np.array([0.0, 2.0, 3.0], dtype=np.float32)
+        px = np.array([0.0, 1.0, 4.0], dtype=np.float32)
+        vals = bilinear_sample(img, py, px)
+        assert np.allclose(vals, img[[0, 2, 3], [0, 1, 4]], atol=1e-6)
+
+    def test_midpoint_average(self):
+        img = np.array([[0.0, 2.0], [4.0, 6.0]], dtype=np.float32)
+        v = bilinear_sample(img, np.array([0.5], dtype=np.float32),
+                            np.array([0.5], dtype=np.float32))
+        assert np.allclose(v, 3.0)
+
+    def test_out_of_bounds_zero(self):
+        img = np.ones((3, 3), dtype=np.float32)
+        v = bilinear_sample(img, np.array([-2.0], dtype=np.float32),
+                            np.array([1.0], dtype=np.float32))
+        assert np.allclose(v, 0.0)
+
+    def test_boundary_partial_weight(self):
+        # halfway off the edge: only half the mass remains (zero padding)
+        img = np.ones((3, 3), dtype=np.float32)
+        v = bilinear_sample(img, np.array([-0.5], dtype=np.float32),
+                            np.array([1.0], dtype=np.float32))
+        assert np.allclose(v, 0.5)
+
+    @given(py=st.floats(-1.8, 7.5), px=st.floats(-1.8, 9.5))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_closed_form_oracle(self, py, px):
+        img = rng(7).normal(size=(7, 9)).astype(np.float32)
+        got = float(bilinear_sample(img,
+                                    np.array([py], dtype=np.float32),
+                                    np.array([px], dtype=np.float32))[0])
+        want = bilinear_sample_reference(img, np.float32(py), np.float32(px))
+        assert abs(got - want) < 1e-3
+
+    def test_batched_leading_dims(self):
+        imgs = rng(8).normal(size=(2, 3, 6, 6)).astype(np.float32)
+        py = rng(9).uniform(0, 5, size=(2, 3, 10)).astype(np.float32)
+        px = rng(10).uniform(0, 5, size=(2, 3, 10)).astype(np.float32)
+        vals = bilinear_sample(imgs, py, px)
+        assert vals.shape == (2, 3, 10)
+        # spot-check one element against the scalar path
+        v = bilinear_sample(imgs[1, 2], py[1, 2, 3:4], px[1, 2, 3:4])
+        assert np.allclose(vals[1, 2, 3], v[0], atol=1e-6)
+
+
+class TestGradients:
+    def test_gradient_matches_finite_difference(self):
+        img = rng(11).normal(size=(8, 8)).astype(np.float64)
+        eps = 1e-4
+        for py, px in [(2.3, 4.7), (0.1, 0.9), (5.5, 5.5)]:
+            py_a = np.array([py])
+            px_a = np.array([px])
+            d_py, d_px = bilinear_gradients(img, py_a, px_a)
+            num_py = (bilinear_sample(img, py_a + eps, px_a)
+                      - bilinear_sample(img, py_a - eps, px_a)) / (2 * eps)
+            num_px = (bilinear_sample(img, py_a, px_a + eps)
+                      - bilinear_sample(img, py_a, px_a - eps)) / (2 * eps)
+            assert abs(d_py[0] - num_py[0]) < 1e-5
+            assert abs(d_px[0] - num_px[0]) < 1e-5
+
+
+class TestCornersAndGather:
+    def test_corner_weights_fractions(self):
+        y0, x0, wy, wx, y1, x1 = corner_weights(np.array([1.25]),
+                                                np.array([2.75]))
+        assert y0[0] == 1 and x0[0] == 2 and y1[0] == 2 and x1[0] == 3
+        assert np.isclose(wy[0], 0.25) and np.isclose(wx[0], 0.75)
+
+    def test_corner_weights_negative_coordinates(self):
+        y0, x0, wy, wx, _, _ = corner_weights(np.array([-0.25]),
+                                              np.array([-1.5]))
+        assert y0[0] == -1 and x0[0] == -2
+        assert np.isclose(wy[0], 0.75) and np.isclose(wx[0], 0.5)
+
+    def test_gather_zero_pad_masks(self):
+        img = np.arange(6, dtype=np.float32).reshape(2, 3)
+        y = np.array([0, 1, -1, 2])
+        x = np.array([0, 2, 0, 0])
+        vals = gather_zero_pad(img, y, x)
+        assert np.allclose(vals, [0.0, 5.0, 0.0, 0.0])

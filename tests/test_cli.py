@@ -1,0 +1,66 @@
+"""CLI tests (in-process main() invocation)."""
+
+import pytest
+
+from repro.cli import _layer_from_arg, build_parser, main
+
+
+class TestArgParsing:
+    def test_layer_parse(self):
+        cfg = _layer_from_arg("128,128,69,69")
+        assert cfg.in_channels == 128 and cfg.height == 69
+        assert cfg.stride == 1
+
+    def test_layer_parse_with_stride(self):
+        cfg = _layer_from_arg("64,64,32,32,2")
+        assert cfg.stride == 2
+
+    def test_layer_parse_rejects_garbage(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _layer_from_arg("1,2,3")
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "jetson-agx-xavier" in out and "rtx-2080ti" in out
+
+    def test_layers_single(self, capsys):
+        assert main(["layers", "--layer", "16,16,20,20"]) == 0
+        out = capsys.readouterr().out
+        assert "16x16x20x20" in out and "tex2D++" in out
+
+    def test_end_to_end(self, capsys):
+        assert main(["end-to-end", "--arch", "r50s"]) == 0
+        out = capsys.readouterr().out
+        assert "YOLACT++ baseline" in out
+        assert "speedup" in out
+
+    def test_tune(self, capsys):
+        assert main(["tune", "--layer", "16,16,24,24", "--budget", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "best tile" in out
+
+    def test_latency_table_save(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        assert main(["latency-table", "--arch", "r50s",
+                     "--save", str(path)]) == 0
+        assert path.exists()
+        out = capsys.readouterr().out
+        assert "t(w_n)" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "--layer", "16,16,20,20"]) == 0
+        out = capsys.readouterr().out
+        assert "pytorch" in out and "tex2dpp" in out
+
+    def test_unknown_device_errors(self):
+        with pytest.raises(KeyError):
+            main(["layers", "--device", "tpu"])

@@ -1,0 +1,240 @@
+"""Dataset generator, IoU primitives, and the COCO-style mAP evaluator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (CLASS_NAMES, NUM_CLASSES, Detection, GroundTruth,
+                        ShapesDataset, box_from_mask, box_iou,
+                        classification_arrays, evaluate_map, make_sample,
+                        mask_iou, render_instance)
+from repro.data.coco_map import COCO_IOU_THRESHOLDS, average_precision
+
+from helpers import rng
+
+
+class TestGenerator:
+    def test_deterministic_given_seed(self):
+        a = ShapesDataset.generate(5, seed=7)
+        b = ShapesDataset.generate(5, seed=7)
+        for sa, sb in zip(a.samples, b.samples):
+            assert np.array_equal(sa.image, sb.image)
+            assert len(sa.instances) == len(sb.instances)
+
+    def test_different_seeds_differ(self):
+        a = ShapesDataset.generate(3, seed=1)
+        b = ShapesDataset.generate(3, seed=2)
+        assert not np.array_equal(a.samples[0].image, b.samples[0].image)
+
+    def test_image_range_and_dtype(self):
+        ds = ShapesDataset.generate(4, size=48, seed=0)
+        for s in ds.samples:
+            assert s.image.shape == (3, 48, 48)
+            assert s.image.dtype == np.float32
+            assert 0.0 <= s.image.min() and s.image.max() <= 1.0
+
+    def test_instances_have_consistent_annotations(self):
+        ds = ShapesDataset.generate(8, seed=3)
+        for s in ds.samples:
+            for inst in s.instances:
+                assert 0 <= inst.label < NUM_CLASSES
+                assert inst.mask.dtype == np.bool_
+                assert inst.mask.sum() >= 12
+                x1, y1, x2, y2 = inst.box
+                assert x1 < x2 and y1 < y2
+                # box is the tight bound of the mask
+                want = box_from_mask(inst.mask)
+                assert np.allclose([x1, y1, x2, y2], want)
+
+    def test_single_object_mode(self):
+        ds = ShapesDataset.generate(6, seed=4, num_objects=1)
+        assert all(len(s.instances) == 1 for s in ds.samples)
+
+    def test_zero_deformation_still_valid(self):
+        s = make_sample(size=48, rng=rng(5), deformation=0.0)
+        assert all(i.mask.any() for i in s.instances)
+
+    def test_all_classes_renderable(self):
+        for label in range(NUM_CLASSES):
+            mask = render_instance(label, 48, (24.0, 24.0), 9.0, rng(label))
+            assert mask.sum() > 20, CLASS_NAMES[label]
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ValueError):
+            render_instance(99, 32, (16.0, 16.0), 6.0, rng(0))
+
+    def test_batches_cover_dataset(self):
+        ds = ShapesDataset.generate(10, seed=6)
+        seen = 0
+        for images, samples in ds.batches(4):
+            assert images.shape[0] == len(samples)
+            seen += len(samples)
+        assert seen == 10
+
+    def test_batches_shuffled_by_seed(self):
+        ds = ShapesDataset.generate(10, seed=6)
+        first_a = next(ds.batches(4, seed=1))[0]
+        first_b = next(ds.batches(4, seed=2))[0]
+        assert not np.array_equal(first_a, first_b)
+
+    def test_classification_arrays_single_instance_only(self):
+        ds = ShapesDataset.generate(20, seed=8)
+        xs, ys = classification_arrays(ds)
+        assert len(xs) == len(ys)
+        assert len(xs) == sum(1 for s in ds.samples
+                              if len(s.instances) == 1)
+
+    def test_deformation_increases_shape_variability(self):
+        """Deformed instances of the same class vary more."""
+        def spread(deform):
+            areas = []
+            for i in range(12):
+                mask = render_instance(1, 48, (24.0, 24.0), 9.0,
+                                       rng(100 + i), deformation=deform)
+                areas.append(mask.sum())
+            return np.std(areas)
+
+        assert spread(1.5) > spread(0.0)
+
+
+class TestIoU:
+    def test_identical_boxes(self):
+        b = np.array([[0, 0, 10, 10]])
+        assert box_iou(b, b)[0, 0] == pytest.approx(1.0)
+
+    def test_disjoint_boxes(self):
+        a = np.array([[0, 0, 5, 5]])
+        b = np.array([[10, 10, 20, 20]])
+        assert box_iou(a, b)[0, 0] == 0.0
+
+    def test_known_overlap(self):
+        a = np.array([[0, 0, 10, 10]])
+        b = np.array([[5, 0, 15, 10]])
+        # inter 50, union 150
+        assert box_iou(a, b)[0, 0] == pytest.approx(1 / 3)
+
+    def test_empty_inputs(self):
+        assert box_iou(np.zeros((0, 4)), np.zeros((2, 4))).shape == (0, 2)
+
+    @given(x1=st.floats(0, 20), y1=st.floats(0, 20),
+           w=st.floats(1, 10), h=st.floats(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_iou_bounds_and_symmetry(self, x1, y1, w, h):
+        a = np.array([[x1, y1, x1 + w, y1 + h]])
+        b = np.array([[x1 + w / 2, y1, x1 + w * 1.5, y1 + h]])
+        iou_ab = box_iou(a, b)[0, 0]
+        iou_ba = box_iou(b, a)[0, 0]
+        assert 0.0 <= iou_ab <= 1.0
+        assert iou_ab == pytest.approx(iou_ba)
+
+    def test_mask_iou_values(self):
+        a = np.zeros((8, 8), dtype=bool)
+        b = np.zeros((8, 8), dtype=bool)
+        a[:4] = True
+        b[2:6] = True
+        # inter 16, union 48
+        assert mask_iou(a[None], b[None])[0, 0] == pytest.approx(1 / 3)
+
+    def test_mask_iou_empty(self):
+        empty = np.zeros((4, 4), dtype=bool)
+        full = np.ones((4, 4), dtype=bool)
+        assert mask_iou(empty[None], full[None])[0, 0] == 0.0
+
+    def test_box_from_mask_empty(self):
+        assert np.allclose(box_from_mask(np.zeros((4, 4), dtype=bool)), 0.0)
+
+
+def _make_pairs(n_images=6, seed=0):
+    """Perfect GT + detections on a synthetic dataset."""
+    ds = ShapesDataset.generate(n_images, seed=seed)
+    dets, gts = [], []
+    for i, s in enumerate(ds.samples):
+        for inst in s.instances:
+            gts.append(GroundTruth(image_id=i, label=inst.label,
+                                   box=np.array(inst.box), mask=inst.mask))
+            dets.append(Detection(image_id=i, label=inst.label, score=0.9,
+                                  box=np.array(inst.box), mask=inst.mask))
+    return dets, gts
+
+
+class TestMAP:
+    def test_perfect_detections_score_one(self):
+        dets, gts = _make_pairs()
+        r = evaluate_map(dets, gts)
+        assert r.box_map == pytest.approx(1.0)
+        assert r.mask_map == pytest.approx(1.0)
+        assert r.mask_ap50 == pytest.approx(1.0)
+
+    def test_no_detections_score_zero(self):
+        _, gts = _make_pairs()
+        r = evaluate_map([], gts)
+        assert r.box_map == 0.0 and r.mask_map == 0.0
+
+    def test_no_ground_truth_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_map([], [])
+
+    def test_wrong_labels_score_zero(self):
+        dets, gts = _make_pairs()
+        for d in dets:
+            d.label = (d.label + 1) % NUM_CLASSES
+        r = evaluate_map(dets, gts)
+        assert r.box_map == pytest.approx(0.0)
+
+    def test_shifted_boxes_hurt_high_iou_thresholds_first(self):
+        dets, gts = _make_pairs()
+        for d in dets:
+            d.box = d.box + 3.0   # a few pixels off
+        ap50 = average_precision(dets, gts, 0.5, use_mask=False)
+        ap90 = average_precision(dets, gts, 0.9, use_mask=False)
+        assert np.nanmean(list(ap50.values())) > \
+            np.nanmean(list(ap90.values()))
+
+    def test_duplicates_counted_as_false_positives(self):
+        """A second detection of an already-matched object is an FP that,
+        when it outranks another object's TP, dents the precision curve."""
+        box_a = np.array([0.0, 0.0, 10.0, 10.0])
+        box_b = np.array([30.0, 30.0, 40.0, 40.0])
+        gts = [GroundTruth(0, 0, box_a), GroundTruth(0, 0, box_b)]
+        clean = [Detection(0, 0, 0.9, box_a), Detection(0, 0, 0.7, box_b)]
+        dup = Detection(0, 0, 0.8, box_a.copy())   # between the two TPs
+        r_clean = evaluate_map(clean, gts, iou_thresholds=[0.5])
+        r_dup = evaluate_map(clean + [dup], gts, iou_thresholds=[0.5])
+        assert r_clean.box_map == pytest.approx(1.0)
+        assert r_dup.box_map < r_clean.box_map
+
+    def test_low_scoring_false_positives_rank_below(self):
+        """FPs with lower score than all TPs leave AP at 1 for the covered
+        recall range (precision envelope)."""
+        dets, gts = _make_pairs()
+        junk = [Detection(d.image_id, d.label, 0.01,
+                          d.box + 30.0, None) for d in dets]
+        r = evaluate_map(dets + junk, gts,
+                         iou_thresholds=[0.5])
+        assert r.box_map == pytest.approx(1.0, abs=1e-6)
+
+    def test_half_coverage_scores_about_half(self):
+        dets, gts = _make_pairs(n_images=8)
+        r = evaluate_map(dets[::2], gts)
+        assert 0.2 < r.box_map < 0.8
+
+    def test_image_id_isolation(self):
+        """A detection on the wrong image must not match."""
+        _, gts = _make_pairs(n_images=2)
+        wrong = [Detection(image_id=(g.image_id + 1) % 2, label=g.label,
+                           score=0.9, box=g.box.copy(), mask=g.mask)
+                 for g in gts]
+        r = evaluate_map(wrong, gts)
+        assert r.box_map < 0.5
+
+    def test_coco_thresholds(self):
+        assert len(COCO_IOU_THRESHOLDS) == 10
+        assert COCO_IOU_THRESHOLDS[0] == 0.5
+        assert COCO_IOU_THRESHOLDS[-1] == pytest.approx(0.95)
+
+    def test_row_formatting(self):
+        dets, gts = _make_pairs()
+        row = evaluate_map(dets, gts).row()
+        assert row["box_map"] == 100.0
+        assert set(row) == {"box_map", "mask_map", "mask_ap50"}

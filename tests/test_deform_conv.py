@@ -1,0 +1,229 @@
+"""Deformable convolution core tests (paper Eq. 2/3)."""
+
+import numpy as np
+import pytest
+
+import repro.nn.functional as F
+from repro.deform import (DeformConv2d, deform_conv2d, deform_im2col_arrays,
+                          sampling_positions)
+from repro.tensor import Tensor
+
+from helpers import check_gradients, rng
+
+
+def make_inputs(seed=0, n=1, c_in=2, c_out=3, h=5, w=5, k=3, stride=1,
+                padding=1, dg=1, offset_scale=1.0):
+    g = rng(seed)
+    oh = (h + 2 * padding - k) // stride + 1
+    ow = (w + 2 * padding - k) // stride + 1
+    x = Tensor(g.normal(size=(n, c_in, h, w)), requires_grad=True)
+    wgt = Tensor(g.normal(size=(c_out, c_in, k, k)), requires_grad=True)
+    # Keep fractional parts well inside (0, 1): bilinear interpolation has
+    # kinks at integer coordinates where finite differences are invalid.
+    shape = (n, 2 * dg * k * k, oh, ow)
+    if offset_scale == 0.0:
+        off_np = np.zeros(shape, dtype=np.float32)
+    else:
+        frac = g.uniform(0.25, 0.75, size=shape)
+        whole = g.integers(-1, 2, size=shape)
+        off_np = (whole + frac).astype(np.float32)
+    off = Tensor(off_np, requires_grad=True)
+    b = Tensor(g.normal(size=(c_out,)), requires_grad=True)
+    return x, off, wgt, b
+
+
+class TestEquivalences:
+    def test_zero_offsets_equal_regular_conv(self):
+        x, off, w, b = make_inputs(seed=1, h=9, w=9, offset_scale=0.0)
+        out_d = deform_conv2d(x, off, w, b, stride=1, padding=1)
+        out_r = F.conv2d(Tensor(x.data), Tensor(w.data), Tensor(b.data),
+                         stride=1, padding=1)
+        assert np.abs(out_d.data - out_r.data).max() < 1e-4
+
+    def test_zero_offsets_stride2(self):
+        x, off, w, b = make_inputs(seed=2, h=8, w=8, stride=2,
+                                   offset_scale=0.0)
+        out_d = deform_conv2d(x, off, w, b, stride=2, padding=1)
+        out_r = F.conv2d(Tensor(x.data), Tensor(w.data), Tensor(b.data),
+                         stride=2, padding=1)
+        assert np.abs(out_d.data - out_r.data).max() < 1e-4
+
+    def test_integer_offset_equals_shifted_input(self):
+        """A constant integer offset samples a translated image."""
+        g = rng(3)
+        x_np = g.normal(size=(1, 1, 8, 8)).astype(np.float32)
+        w = Tensor(g.normal(size=(1, 1, 3, 3)))
+        # shift sampling one pixel right (Δx = 1)
+        off_np = np.zeros((1, 18, 8, 8), dtype=np.float32)
+        off_np[:, 1::2] = 1.0
+        out = deform_conv2d(Tensor(x_np), Tensor(off_np), w, padding=1)
+        shifted = np.zeros_like(x_np)
+        shifted[..., :, :-1] = x_np[..., :, 1:]
+        want = F.conv2d(Tensor(shifted), w, padding=1)
+        # Interior matches exactly.  The first output column differs: the
+        # deformable op still sees x[:, 0] through its shifted left tap,
+        # while the translated image has lost that column.
+        assert np.abs(out.data[..., :, 1:]
+                      - want.data[..., :, 1:]).max() < 1e-4
+
+    def test_unit_weight_center_tap_is_bilinear_sampling(self):
+        """With a centre-only kernel, the op reduces to pure sampling."""
+        from repro.deform.bilinear import bilinear_sample
+
+        g = rng(4)
+        x_np = g.normal(size=(1, 1, 7, 7)).astype(np.float32)
+        w_np = np.zeros((1, 1, 3, 3), dtype=np.float32)
+        w_np[0, 0, 1, 1] = 1.0
+        off_np = (0.5 * g.normal(size=(1, 18, 7, 7))).astype(np.float32)
+        out = deform_conv2d(Tensor(x_np), Tensor(off_np), Tensor(w_np),
+                            padding=1)
+        py, px = sampling_positions(off_np, (7, 7), 3, 1, 1, 1, 1)
+        vals = bilinear_sample(x_np[0, 0], py[0, 0, 4], px[0, 0, 4])
+        assert np.abs(out.data[0, 0].ravel() - vals).max() < 1e-4
+
+
+class TestGradients:
+    def test_all_input_gradients(self):
+        x, off, w, b = make_inputs(seed=5, offset_scale=0.7)
+
+        def run():
+            return deform_conv2d(x, off, w, b, stride=1, padding=1)
+
+        check_gradients(run, [x, off, w, b])
+
+    def test_stride2_gradients(self):
+        x, off, w, b = make_inputs(seed=6, h=6, w=6, stride=2,
+                                   offset_scale=0.7)
+        check_gradients(
+            lambda: deform_conv2d(x, off, w, b, stride=2, padding=1),
+            [x, off, w])
+
+    def test_deformable_groups_gradients(self):
+        x, off, w, b = make_inputs(seed=7, c_in=4, dg=2, offset_scale=0.7)
+        check_gradients(
+            lambda: deform_conv2d(x, off, w, b, padding=1,
+                                  deformable_groups=2),
+            [x, off, w])
+
+    def test_modulated_gradients(self):
+        x, off, w, b = make_inputs(seed=8, offset_scale=0.7)
+        g = rng(9)
+        mask = Tensor(g.uniform(0.2, 0.9, size=(1, 9, 5, 5)),
+                      requires_grad=True)
+        check_gradients(
+            lambda: deform_conv2d(x, off, w, b, padding=1, mask=mask),
+            [x, off, mask])
+
+
+class TestValidation:
+    def test_offset_shape_check(self):
+        x, off, w, b = make_inputs(seed=10)
+        bad = Tensor(np.zeros((1, 18, 3, 3), dtype=np.float32))
+        with pytest.raises(ValueError):
+            deform_conv2d(x, bad, w, padding=1)
+
+    def test_rectangular_kernel_rejected(self):
+        x = Tensor(np.zeros((1, 2, 5, 5)))
+        w = Tensor(np.zeros((3, 2, 3, 5)))
+        off = Tensor(np.zeros((1, 18, 5, 5)))
+        with pytest.raises(ValueError):
+            deform_conv2d(x, off, w, padding=1)
+
+    def test_channel_mismatch_rejected(self):
+        x = Tensor(np.zeros((1, 2, 5, 5)))
+        w = Tensor(np.zeros((3, 4, 3, 3)))
+        off = Tensor(np.zeros((1, 18, 5, 5)))
+        with pytest.raises(ValueError):
+            deform_conv2d(x, off, w, padding=1)
+
+    def test_indivisible_deformable_groups(self):
+        x = Tensor(np.zeros((1, 3, 5, 5)))
+        w = Tensor(np.zeros((3, 3, 3, 3)))
+        off = Tensor(np.zeros((1, 36, 5, 5)))
+        with pytest.raises(ValueError):
+            deform_conv2d(x, off, w, padding=1, deformable_groups=2)
+
+
+class TestSamplingPositions:
+    def test_zero_offset_positions_match_grid(self):
+        off = np.zeros((1, 18, 4, 4), dtype=np.float32)
+        py, px = sampling_positions(off, (4, 4), 3, 1, 1, 1, 1)
+        # centre tap (index 4) at output pixel (0, 0) samples input (0, 0)
+        assert py[0, 0, 4, 0] == 0.0 and px[0, 0, 4, 0] == 0.0
+        # top-left tap samples the padding region
+        assert py[0, 0, 0, 0] == -1.0 and px[0, 0, 0, 0] == -1.0
+
+    def test_offsets_shift_positions(self):
+        off = np.zeros((1, 18, 4, 4), dtype=np.float32)
+        off[0, 8] = 2.5   # tap 4 Δy
+        off[0, 9] = -1.5  # tap 4 Δx
+        py, px = sampling_positions(off, (4, 4), 3, 1, 1, 1, 1)
+        assert py[0, 0, 4, 0] == pytest.approx(2.5)
+        assert px[0, 0, 4, 0] == pytest.approx(-1.5)
+
+
+class TestDeformConvModule:
+    def test_forward_shapes(self):
+        layer = DeformConv2d(4, 6, stride=2, rng=rng(11))
+        x = Tensor(rng(12).normal(size=(2, 4, 8, 8)))
+        assert layer(x).shape == (2, 6, 4, 4)
+
+    def test_zero_init_head_behaves_as_regular_conv(self):
+        layer = DeformConv2d(3, 5, rng=rng(13))
+        x = Tensor(rng(14).normal(size=(1, 3, 6, 6)))
+        out = layer(x)
+        want = F.conv2d(x, layer.weight, layer.bias, stride=1, padding=1)
+        assert np.abs(out.data - want.data).max() < 1e-5
+
+    def test_bound_policy_applied(self):
+        layer = DeformConv2d(3, 5, bound=2.0, rng=rng(15))
+        # force large raw offsets through the head bias
+        layer.offset_head.conv.bias.data[:] = 10.0
+        x = Tensor(rng(16).normal(size=(1, 3, 6, 6)))
+        layer(x)
+        assert np.abs(layer.last_offsets.data).max() <= 2.0 + 1e-6
+
+    def test_rounded_policy_applied(self):
+        layer = DeformConv2d(3, 5, rounded=True, rng=rng(17))
+        layer.offset_head.conv.bias.data[:] = 0.4
+        x = Tensor(rng(18).normal(size=(1, 3, 6, 6)))
+        layer(x)
+        off = layer.last_offsets.data
+        assert np.allclose(off, np.rint(off))
+
+    def test_lightweight_flag_builds_light_head(self):
+        from repro.deform.lightweight import LightweightOffsetHead
+
+        layer = DeformConv2d(4, 4, lightweight=True, rng=rng(19))
+        assert isinstance(layer.offset_head, LightweightOffsetHead)
+
+    def test_macs_accounting(self):
+        layer = DeformConv2d(4, 8, rng=rng(20))
+        light = DeformConv2d(4, 8, lightweight=True, rng=rng(20))
+        assert light.macs(16, 16) < layer.macs(16, 16)
+
+    def test_modulated_forward_and_params(self):
+        layer = DeformConv2d(4, 4, modulated=True, rng=rng(21))
+        x = Tensor(rng(22).normal(size=(1, 4, 6, 6)), requires_grad=True)
+        out = layer(x)
+        (out * out).mean().backward()
+        assert x.grad is not None
+        assert layer.mask_head.weight.grad is not None
+
+    def test_offset_grad_scale_slows_offset_learning(self):
+        layer = DeformConv2d(3, 3, offset_grad_scale=0.1, rng=rng(23))
+        x = Tensor(rng(24).normal(size=(1, 3, 6, 6)))
+        layer(x).sum().backward()
+        g_scaled = layer.offset_head.conv.bias.grad.copy()
+        layer.zero_grad()
+        layer.offset_grad_scale = 1.0
+        layer(x).sum().backward()
+        g_full = layer.offset_head.conv.bias.grad
+        assert np.allclose(g_scaled, 0.1 * g_full, atol=1e-6)
+
+    def test_repr_mentions_options(self):
+        layer = DeformConv2d(3, 3, lightweight=True, bound=7.0, rounded=True,
+                             modulated=True, rng=rng(25))
+        text = repr(layer)
+        for word in ("light", "bound=7.0", "rounded", "modulated"):
+            assert word in text

@@ -1,0 +1,92 @@
+"""Property-based tests on the deformable-convolution operator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.nn.functional as F
+from repro.deform import deform_conv2d
+from repro.tensor import Tensor
+
+from helpers import rng
+
+
+def run_op(x, off, w, stride=1, padding=1, k=3):
+    return deform_conv2d(Tensor(x), Tensor(off), Tensor(w), stride=stride,
+                         padding=padding).data
+
+
+class TestAlgebraicProperties:
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_linear_in_weights(self, seed):
+        g = rng(seed)
+        x = g.normal(size=(1, 2, 7, 7)).astype(np.float32)
+        off = (0.8 * g.normal(size=(1, 18, 7, 7))).astype(np.float32)
+        w1 = g.normal(size=(3, 2, 3, 3)).astype(np.float32)
+        w2 = g.normal(size=(3, 2, 3, 3)).astype(np.float32)
+        lhs = run_op(x, off, w1 + w2)
+        rhs = run_op(x, off, w1) + run_op(x, off, w2)
+        assert np.allclose(lhs, rhs, atol=1e-3)
+
+    @given(seed=st.integers(0, 100), scale=st.floats(-2.0, 2.0))
+    @settings(max_examples=20, deadline=None)
+    def test_linear_in_input(self, seed, scale):
+        g = rng(seed)
+        x = g.normal(size=(1, 2, 6, 6)).astype(np.float32)
+        off = (0.8 * g.normal(size=(1, 18, 6, 6))).astype(np.float32)
+        w = g.normal(size=(2, 2, 3, 3)).astype(np.float32)
+        lhs = run_op(np.float32(scale) * x, off, w)
+        rhs = np.float32(scale) * run_op(x, off, w)
+        assert np.allclose(lhs, rhs, atol=1e-3)
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_batch_independence(self, seed):
+        """Each batch element is processed independently."""
+        g = rng(seed)
+        x = g.normal(size=(2, 2, 6, 6)).astype(np.float32)
+        off = (0.7 * g.normal(size=(2, 18, 6, 6))).astype(np.float32)
+        w = g.normal(size=(3, 2, 3, 3)).astype(np.float32)
+        both = run_op(x, off, w)
+        first = run_op(x[:1], off[:1], w)
+        assert np.allclose(both[:1], first, atol=1e-4)
+
+    def test_output_bounded_by_input_and_weight_norms(self):
+        g = rng(0)
+        x = g.normal(size=(1, 3, 8, 8)).astype(np.float32)
+        off = (1.5 * g.normal(size=(1, 18, 8, 8))).astype(np.float32)
+        w = g.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        out = run_op(x, off, w)
+        # each output is a sum of ≤ C·K bilinear values, each a convex
+        # combination of inputs — a crude but real bound
+        bound = np.abs(w).sum(axis=(1, 2, 3)).max() * np.abs(x).max()
+        assert np.abs(out).max() <= bound + 1e-4
+
+
+class TestKernelSizes:
+    @pytest.mark.parametrize("k", [1, 5])
+    def test_non_3x3_kernels(self, k):
+        """The operator supports any square kernel, not just 3×3."""
+        g = rng(k)
+        pad = k // 2
+        x = Tensor(g.normal(size=(1, 2, 9, 9)), requires_grad=True)
+        w = Tensor(g.normal(size=(3, 2, k, k)), requires_grad=True)
+        off = Tensor(np.zeros((1, 2 * k * k, 9, 9), dtype=np.float32))
+        out_d = deform_conv2d(x, off, w, stride=1, padding=pad)
+        out_r = F.conv2d(Tensor(x.data), Tensor(w.data), stride=1,
+                         padding=pad)
+        assert np.abs(out_d.data - out_r.data).max() < 1e-4
+        out_d.sum().backward()
+        assert x.grad is not None and w.grad is not None
+
+    def test_dilation_positions(self):
+        """Dilated deformable conv matches dilated regular conv at Δ=0."""
+        g = rng(9)
+        x = Tensor(g.normal(size=(1, 2, 11, 11)))
+        w = Tensor(g.normal(size=(2, 2, 3, 3)))
+        off = Tensor(np.zeros((1, 18, 11, 11), dtype=np.float32))
+        out_d = deform_conv2d(x, off, w, stride=1, padding=2, dilation=2)
+        out_r = F.conv2d(x, w, stride=1, padding=2, dilation=2)
+        assert np.abs(out_d.data - out_r.data).max() < 1e-4

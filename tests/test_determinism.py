@@ -1,0 +1,84 @@
+"""Reproducibility guarantees: seeded flows give identical results."""
+
+import numpy as np
+import pytest
+
+from repro.data import ShapesDataset
+from repro.gpusim import XAVIER
+from repro.kernels import LayerConfig, run_layer_all_backends
+from repro.models import build_classifier
+from repro.pipeline import TrainConfig, train_classifier
+
+from helpers import rng
+
+
+class TestSeededFlows:
+    def test_kernel_latencies_deterministic(self):
+        cfg = LayerConfig(32, 32, 28, 28)
+        a = run_layer_all_backends(cfg, XAVIER, bound=7.0, seed=4,
+                                   compute_output=False)
+        b = run_layer_all_backends(cfg, XAVIER, bound=7.0, seed=4,
+                                   compute_output=False)
+        for backend in a:
+            assert a[backend].sample_kernel.duration_ms == \
+                b[backend].sample_kernel.duration_ms
+
+    def test_training_deterministic(self):
+        ds = ShapesDataset.generate(32, seed=0, num_objects=1)
+        cfg = TrainConfig(epochs=1, batch_size=16, optimizer="sgd",
+                          lr=1e-2, seed=3)
+        logs = []
+        for _ in range(2):
+            model = build_classifier("r50s", seed=5)
+            logs.append(train_classifier(model, ds, cfg).losses)
+        assert logs[0] == logs[1]
+
+    def test_search_deterministic(self):
+        from repro.nas import DualPathLayer, IntervalSearch, SearchConfig
+        from repro.tensor import Tensor
+
+        def one_run():
+            sites = [DualPathLayer(2, 2, rng=np.random.default_rng(30 + i))
+                     for i in range(3)]
+
+            class S:
+                training = True
+
+                def parameters(self):
+                    for s in sites:
+                        yield from s.parameters()
+
+                def train(self, mode=True):
+                    return self
+
+            xs = [np.random.default_rng(7).normal(
+                size=(2, 2, 6, 6)).astype(np.float32)]
+
+            def batches():
+                return iter(xs)
+
+            def loss_fn(model, batch):
+                h = Tensor(batch)
+                for s in sites:
+                    h = s(h)
+                return (h * h).mean()
+
+            cfg = SearchConfig(search_epochs=2, finetune_epochs=1,
+                               beta=0.05, target_latency_ms=2.0, seed=11)
+            return IntervalSearch(S(), sites, [1.0, 1.0, 1.0], cfg).run(
+                batches, loss_fn)
+
+        a, b = one_run(), one_run()
+        assert a.placement == b.placement
+        assert a.search_losses == b.search_losses
+
+    def test_no_global_numpy_seed_dependence(self):
+        """The library never consumes the global NumPy RNG state."""
+        np.random.seed(123)
+        before = np.random.get_state()[1][:5].copy()
+        ds = ShapesDataset.generate(4, seed=0)
+        model = build_classifier("r50s", seed=0)
+        cfg = LayerConfig(8, 8, 10, 10)
+        run_layer_all_backends(cfg, XAVIER, compute_output=False)
+        after = np.random.get_state()[1][:5]
+        assert np.array_equal(before, after)

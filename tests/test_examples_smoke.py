@@ -1,0 +1,44 @@
+"""Smoke tests: the fast example scripts run end to end.
+
+The two training-heavy examples (interval_search_demo,
+train_shapes_segmentation) are exercised through their underlying APIs in
+test_integration.py; running them verbatim takes minutes and belongs to
+the benchmarks tier.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart_runs():
+    out = _run("quickstart.py")
+    assert "forward:" in out
+    assert "tex2D vs software bilinear" in out
+    for backend in ("pytorch", "tex2d", "tex2dpp"):
+        assert backend in out
+
+
+def test_autotune_tiles_runs():
+    out = _run("autotune_tiles.py")
+    assert "exhaustive oracle" in out
+    assert "BO convergence" in out
+
+
+def test_texture_inference_runs():
+    out = _run("texture_inference.py")
+    assert "layered texture" in out
+    assert "tex2D++ speedup" in out
+    assert "speedup" in out.splitlines()[-5].lower() or "x" in out

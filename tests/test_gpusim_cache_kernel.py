@@ -1,0 +1,182 @@
+"""Texture-cache model and the launch/occupancy/latency cost model."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (XAVIER, KernelCost, LaunchConfig, TextureCacheModel,
+                          estimate_time_ms, gemm_cost, merge_costs,
+                          occupancy, stats_from_cost, wave_efficiency)
+
+from helpers import rng
+
+
+class TestCacheModel:
+    def _model(self, **kw):
+        return TextureCacheModel(XAVIER, **kw)
+
+    def test_dense_tile_mostly_hits(self):
+        cm = self._model(concurrent_layers=1)
+        y = np.repeat(np.arange(16), 16)
+        x = np.tile(np.arange(16), 16)
+        cta = np.zeros(256, dtype=np.int64)
+        st = cm.simulate(y, x, cta, 64, 64)
+        assert st.hit_rate > 80.0
+
+    def test_repeated_access_hits(self):
+        cm = self._model()
+        y = np.zeros(1000, dtype=np.int64)
+        x = np.zeros(1000, dtype=np.int64)
+        cta = np.zeros(1000, dtype=np.int64)
+        st = cm.simulate(y, x, cta, 8, 8)
+        assert st.misses <= 4   # at most the 4 corner lines
+        assert st.hit_rate > 99.0
+
+    def test_disjoint_ctas_refetch_shared_halo(self):
+        """Two CTAs touching the same texels both miss — the halo-refetch
+        effect that penalises tiny tiles in Fig. 8."""
+        cm = self._model()
+        y = np.zeros(64, dtype=np.int64)
+        x = np.tile(np.arange(32), 2)
+        one_cta = np.zeros(64, dtype=np.int64)
+        two_ctas = np.repeat(np.array([0, 1]), 32)
+        st_one = cm.simulate(y, x, one_cta, 64, 64, corners=False)
+        st_two = cm.simulate(y, x, two_ctas, 64, 64, corners=False)
+        assert st_two.misses == 2 * st_one.misses
+
+    def test_capacity_thrash_increases_misses(self):
+        small = TextureCacheModel(
+            XAVIER.with_overrides(tex_cache_kb_per_sm=1))
+        big = TextureCacheModel(
+            XAVIER.with_overrides(tex_cache_kb_per_sm=128))
+        g = rng(0)
+        y = g.integers(0, 256, size=8000)
+        x = g.integers(0, 256, size=8000)
+        cta = np.zeros(8000, dtype=np.int64)
+        st_small = small.simulate(y, x, cta, 256, 256, corners=False)
+        st_big = big.simulate(y, x, cta, 256, 256, corners=False)
+        assert st_small.misses > st_big.misses
+
+    def test_out_of_bounds_corners_not_fetched(self):
+        """Border texels are zero-substituted, not read (paper Fig. 10
+        discussion: boundary pixels are not computed)."""
+        cm = self._model()
+        y = np.full(10, -5, dtype=np.int64)
+        x = np.full(10, -5, dtype=np.int64)
+        cta = np.zeros(10, dtype=np.int64)
+        st = cm.simulate(y, x, cta, 8, 8)
+        assert st.texel_reads == 0 and st.misses == 0
+
+    def test_corner_expansion_counts_quads(self):
+        cm = self._model()
+        st = cm.simulate(np.array([2]), np.array([2]), np.array([0]), 8, 8)
+        assert st.requests == 1
+        assert st.texel_reads == 4
+
+    def test_line_ids_block_linear(self):
+        cm = self._model()
+        # same 4x8 tile -> same line
+        assert cm.line_ids(np.array([0]), np.array([0]), 64) == \
+            cm.line_ids(np.array([3]), np.array([7]), 64)
+        assert cm.line_ids(np.array([0]), np.array([0]), 64) != \
+            cm.line_ids(np.array([4]), np.array([0]), 64)
+
+    def test_length_mismatch_rejected(self):
+        cm = self._model()
+        with pytest.raises(ValueError):
+            cm.simulate(np.zeros(3), np.zeros(2), np.zeros(3), 8, 8)
+
+    def test_stats_scaled(self):
+        cm = self._model()
+        st = cm.simulate(np.arange(8), np.arange(8), np.zeros(8), 32, 32)
+        doubled = st.scaled(2.0)
+        assert doubled.texel_reads == 2 * st.texel_reads
+        assert doubled.miss_bytes == pytest.approx(2 * st.miss_bytes)
+
+
+class TestLaunchAndOccupancy:
+    def test_full_occupancy(self):
+        assert occupancy(LaunchConfig(100, 256), XAVIER) == pytest.approx(1.0)
+
+    def test_small_block_limited_by_block_slots(self):
+        # 32-thread blocks: 32 blocks/SM × 32 threads = 1024 of 2048
+        assert occupancy(LaunchConfig(100, 32), XAVIER) == pytest.approx(0.5)
+
+    def test_block_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(LaunchConfig(1, 2048), XAVIER)
+
+    def test_invalid_launch(self):
+        with pytest.raises(ValueError):
+            LaunchConfig(0, 64)
+
+    def test_wave_efficiency_exact_fill(self):
+        # 8 SMs × 8 resident 256-thread blocks = 64 blocks per wave
+        assert wave_efficiency(LaunchConfig(64, 256), XAVIER) == 1.0
+
+    def test_wave_efficiency_tail_penalty(self):
+        full = wave_efficiency(LaunchConfig(64, 256), XAVIER)
+        tail = wave_efficiency(LaunchConfig(65, 256), XAVIER)
+        assert tail < full
+
+    def test_wave_efficiency_improves_with_more_waves(self):
+        few = wave_efficiency(LaunchConfig(65, 256), XAVIER)
+        many = wave_efficiency(LaunchConfig(64 * 20 + 1, 256), XAVIER)
+        assert many > few
+
+
+class TestCostModel:
+    def test_monotone_in_flops(self):
+        lc = LaunchConfig(1000, 256)
+        t1 = estimate_time_ms(KernelCost(flops=1e9), lc, XAVIER)
+        t2 = estimate_time_ms(KernelCost(flops=2e9), lc, XAVIER)
+        assert t2 > t1
+
+    def test_monotone_in_bytes(self):
+        lc = LaunchConfig(1000, 256)
+        t1 = estimate_time_ms(KernelCost(dram_bytes=1e8), lc, XAVIER)
+        t2 = estimate_time_ms(KernelCost(dram_bytes=5e8), lc, XAVIER)
+        assert t2 > t1
+
+    def test_launch_overhead_floor(self):
+        lc = LaunchConfig(1, 64)
+        t = estimate_time_ms(KernelCost(), lc, XAVIER)
+        assert t >= XAVIER.kernel_launch_overhead_us / 1e3
+
+    def test_tex_divisor_slows_fetches(self):
+        lc = LaunchConfig(1000, 256)
+        t1 = estimate_time_ms(KernelCost(tex_fetches=1e8,
+                                         tex_rate_divisor=1), lc, XAVIER)
+        t4 = estimate_time_ms(KernelCost(tex_fetches=1e8,
+                                         tex_rate_divisor=4), lc, XAVIER)
+        assert t4 > t1
+
+    def test_prologue_scales_with_grid(self):
+        small = LaunchConfig(100, 256)
+        large = LaunchConfig(10000, 256)
+        cost = KernelCost(cta_prologue_cycles=500)
+        assert estimate_time_ms(cost, large, XAVIER) > \
+            estimate_time_ms(cost, small, XAVIER)
+
+    def test_low_occupancy_hurts_compute(self):
+        cost = KernelCost(flops=1e10)
+        few_blocks = XAVIER.with_overrides(max_blocks_per_sm=4)
+        fast = estimate_time_ms(cost, LaunchConfig(1000, 256), few_blocks)
+        slow = estimate_time_ms(cost, LaunchConfig(1000, 32), few_blocks)
+        assert slow > fast
+
+    def test_gemm_cost_flops(self):
+        c = gemm_cost(128, 256, 64)
+        assert c.flops == 2.0 * 128 * 256 * 64
+
+    def test_merge_costs_weighted_efficiency(self):
+        a = KernelCost(flops=1e9, compute_efficiency=0.8)
+        b = KernelCost(flops=1e9, compute_efficiency=0.4)
+        m = merge_costs(a, b)
+        assert m.flops == 2e9
+        assert m.compute_efficiency == pytest.approx(0.6)
+
+    def test_stats_from_cost(self):
+        s = stats_from_cost("k", KernelCost(flops=1e9, dram_bytes=1e6),
+                            LaunchConfig(100, 256), XAVIER)
+        assert s.name == "k" and s.duration_ms > 0
+        assert s.flop_count_sp == 1e9

@@ -1,0 +1,110 @@
+"""Coalescing model tests — the GLD counters of paper Fig. 10."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import (XAVIER, CoalescingStats, coalescing_stats,
+                          dram_time_ms, strided_stats)
+
+from helpers import rng
+
+
+class TestStridedStats:
+    def test_unit_stride_fully_coalesced(self):
+        s = strided_stats(1024, 4, XAVIER)
+        assert s.efficiency == pytest.approx(100.0)
+        assert s.transactions_per_request == pytest.approx(4.0)
+
+    def test_large_stride_one_sector_per_lane(self):
+        s = strided_stats(320, 4, XAVIER, stride_elements=64)
+        assert s.transactions_per_request == pytest.approx(32.0)
+        assert s.efficiency == pytest.approx(100.0 * 4 / 32)
+
+    def test_half_precision_stream(self):
+        s4 = strided_stats(4096, 4, XAVIER)
+        s2 = strided_stats(4096, 2, XAVIER)
+        # fp16 stream moves half the bytes (the tex2D++ saving)
+        assert s2.bytes_transferred == pytest.approx(
+            s4.bytes_transferred / 2)
+
+    def test_zero_elements(self):
+        s = strided_stats(0, 4, XAVIER)
+        assert s.requests == 0 and s.transactions == 0
+
+    def test_request_count(self):
+        s = strided_stats(100, 4, XAVIER)
+        assert s.requests == 4  # ceil(100/32)
+
+
+class TestCoalescingStats:
+    def test_sequential_addresses(self):
+        addr = (np.arange(64) * 4).reshape(2, 32)
+        s = coalescing_stats(addr, 4, XAVIER)
+        assert s.requests == 2
+        assert s.transactions == 8  # 4 sectors per warp
+        assert s.efficiency == pytest.approx(100.0)
+
+    def test_single_sector_broadcast(self):
+        addr = np.zeros((1, 32), dtype=np.int64)
+        s = coalescing_stats(addr, 4, XAVIER)
+        assert s.transactions == 1
+        # 32 lanes wanted 128 bytes; one 32-byte sector moved
+        assert s.efficiency == pytest.approx(100.0)
+
+    def test_fully_scattered(self):
+        addr = (np.arange(32) * 1000).reshape(1, 32)
+        s = coalescing_stats(addr, 4, XAVIER)
+        assert s.transactions == 32
+        assert s.transactions_per_request == 32
+        assert s.efficiency == pytest.approx(100.0 * 4 / 32)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            coalescing_stats(np.zeros((4, 16)), 4, XAVIER)
+
+    def test_active_mask_suppresses_traffic(self):
+        addr = (np.arange(32) * 1000).reshape(1, 32)
+        mask = np.zeros((1, 32), dtype=bool)
+        mask[0, :4] = True
+        s = coalescing_stats(addr, 4, XAVIER, active_mask=mask)
+        assert s.transactions == 4
+        assert s.bytes_requested == 16.0
+
+    def test_all_inactive_warp_makes_no_request(self):
+        addr = np.zeros((1, 32), dtype=np.int64)
+        mask = np.zeros((1, 32), dtype=bool)
+        s = coalescing_stats(addr, 4, XAVIER, active_mask=mask)
+        assert s.requests == 0 and s.transactions == 0
+
+    @given(st.integers(0, 2**20))
+    @settings(max_examples=30, deadline=None)
+    def test_single_warp_bounds(self, base):
+        addr = (base + rng(base % 97).integers(0, 4096, size=(1, 32))) * 4
+        s = coalescing_stats(addr, 4, XAVIER)
+        assert 1 <= s.transactions <= 32
+        assert 0 < s.efficiency <= 100.0
+
+    def test_scaled(self):
+        addr = (np.arange(32) * 4).reshape(1, 32)
+        s = coalescing_stats(addr, 4, XAVIER).scaled(10)
+        assert s.requests == 10 and s.transactions == 40
+
+    def test_merged(self):
+        a = CoalescingStats(1, 4, 128.0, 128.0)
+        b = CoalescingStats(2, 8, 256.0, 256.0)
+        m = a.merged(b)
+        assert m.requests == 3 and m.transactions == 12
+        assert m.bytes_requested == 384.0
+
+
+class TestDramTime:
+    def test_linear_in_bytes(self):
+        t1 = dram_time_ms(1e9, XAVIER)
+        t2 = dram_time_ms(2e9, XAVIER)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_matches_effective_bandwidth(self):
+        t = dram_time_ms(XAVIER.effective_dram_gbps * 1e9, XAVIER)
+        assert t == pytest.approx(1000.0)

@@ -1,0 +1,129 @@
+"""Device registry, profiler log, and cross-cutting gpusim properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import (DEVICES, RTX_2080TI, XAVIER, KernelStats,
+                          ProfileLog, get_device)
+
+from helpers import rng
+
+
+class TestDeviceRegistry:
+    def test_presets_registered(self):
+        assert "jetson-agx-xavier" in DEVICES
+        assert "rtx-2080ti" in DEVICES
+
+    @pytest.mark.parametrize("alias,name", [
+        ("xavier", "jetson-agx-xavier"),
+        ("AGX", "jetson-agx-xavier"),
+        ("2080ti", "rtx-2080ti"),
+        ("RTX2080Ti", "rtx-2080ti"),
+    ])
+    def test_aliases(self, alias, name):
+        assert get_device(alias).name == name
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            get_device("h100")
+
+    def test_with_overrides_is_copy(self):
+        fast = XAVIER.with_overrides(dram_bandwidth_gbps=999.0)
+        assert fast.dram_bandwidth_gbps == 999.0
+        assert XAVIER.dram_bandwidth_gbps == 137.0
+
+    def test_peak_numbers(self):
+        # 8 SM × 64 lanes × 2 × 1.377 GHz ≈ 1.41 TFLOP/s
+        assert XAVIER.peak_gflops == pytest.approx(1410, rel=0.01)
+        assert RTX_2080TI.peak_gflops > 5 * XAVIER.peak_gflops
+        assert XAVIER.peak_tex_gtexels == pytest.approx(
+            8 * 4 * 1.377, rel=1e-6)
+
+    def test_effective_bandwidth_below_peak(self):
+        for spec in DEVICES.values():
+            assert spec.effective_dram_gbps < spec.dram_bandwidth_gbps
+
+
+class TestKernelStats:
+    def test_mflop(self):
+        s = KernelStats(flop_count_sp=3e6)
+        assert s.mflop == pytest.approx(3.0)
+
+    def test_ratios_safe_on_zero(self):
+        s = KernelStats()
+        assert s.gld_transactions_per_request == 0.0
+        assert s.gld_efficiency == 100.0
+        assert s.tex_cache_hit_rate == 0.0
+
+    def test_efficiency_capped_at_100(self):
+        s = KernelStats(gld_bytes_requested=1e9, gld_transactions=1)
+        assert s.gld_efficiency == 100.0
+
+    def test_merged_sums_counters(self):
+        a = KernelStats(name="k", duration_ms=1.0, flop_count_sp=10.0,
+                        gld_requests=2, gld_transactions=8)
+        b = KernelStats(name="k", duration_ms=2.0, flop_count_sp=30.0,
+                        gld_requests=2, gld_transactions=4)
+        m = a.merged(b)
+        assert m.duration_ms == pytest.approx(3.0)
+        assert m.flop_count_sp == pytest.approx(40.0)
+        assert m.gld_transactions_per_request == pytest.approx(3.0)
+
+
+class TestProfileLog:
+    def _log(self):
+        log = ProfileLog()
+        log.add(KernelStats(name="a", duration_ms=1.0, flop_count_sp=1e6))
+        log.add(KernelStats(name="b", duration_ms=2.0,
+                            tex_cache_requests=10, tex_texel_reads=40,
+                            tex_cache_hits=30))
+        log.add(KernelStats(name="a", duration_ms=0.5, flop_count_sp=2e6))
+        return log
+
+    def test_total(self):
+        assert self._log().total_ms == pytest.approx(3.5)
+
+    def test_by_name_aggregates(self):
+        agg = self._log().by_name()
+        assert agg["a"].duration_ms == pytest.approx(1.5)
+        assert agg["a"].flop_count_sp == pytest.approx(3e6)
+
+    def test_summary_rows(self):
+        rows = self._log().summary_rows()
+        assert {r["kernel"] for r in rows} == {"a", "b"}
+        b_row = next(r for r in rows if r["kernel"] == "b")
+        assert b_row["tex_hit_rate_pct"] == pytest.approx(75.0)
+
+
+class TestCrossCuttingProperties:
+    @given(sigma=st.floats(0.3, 4.0), seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_bounded_synth_offsets_within_bound(self, sigma, seed):
+        from repro.kernels import LayerConfig, synth_offsets
+
+        off = synth_offsets(LayerConfig(4, 4, 12, 12), sigma=sigma,
+                            bound=5.0, seed=seed)
+        assert np.abs(off).max() <= 5.0
+
+    @given(h=st.integers(6, 24), w=st.integers(6, 24))
+    @settings(max_examples=15, deadline=None)
+    def test_sampling_positions_zero_offset_in_padded_range(self, h, w):
+        from repro.deform import sampling_positions
+
+        off = np.zeros((1, 18, h, w), dtype=np.float32)
+        py, px = sampling_positions(off, (h, w), 3, 1, 1, 1, 1)
+        assert py.min() >= -1 and py.max() <= h
+        assert px.min() >= -1 and px.max() <= w
+
+    @given(n=st.integers(1, 4096))
+    @settings(max_examples=25, deadline=None)
+    def test_strided_efficiency_unit_stride_always_100(self, n):
+        from repro.gpusim import strided_stats
+
+        s = strided_stats(n, 4, XAVIER)
+        # unit-stride float32: requested bytes == lane bytes; transferred
+        # sectors may pad the tail warp, so efficiency is within (90, 100]
+        assert s.efficiency <= 100.0
+        assert s.transactions >= 1

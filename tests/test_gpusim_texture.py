@@ -1,0 +1,164 @@
+"""Texture unit model: fixed-point filtering, addressing modes, limits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deform.bilinear import bilinear_sample
+from repro.gpusim import (FIXED_POINT_FRACTION_BITS, LayeredTexture2D,
+                          TextureDescriptor, XAVIER, fits_texture_limits,
+                          quantize_fraction, texture_footprint_bytes)
+
+from helpers import rng
+
+
+class TestQuantizeFraction:
+    def test_exact_on_grid(self):
+        assert quantize_fraction(np.array(0.5)) == 0.5
+        assert quantize_fraction(np.array(0.25)) == 0.25
+
+    @given(st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_error_bounded_by_half_lsb(self, f):
+        q = float(quantize_fraction(np.array(f)))
+        assert abs(q - f) <= 0.5 / (1 << FIXED_POINT_FRACTION_BITS) + 1e-12
+
+    def test_bits_constant(self):
+        assert FIXED_POINT_FRACTION_BITS == 8  # CUDA 1.8 fixed point
+
+
+class TestDescriptor:
+    def test_invalid_address_mode(self):
+        with pytest.raises(ValueError):
+            TextureDescriptor(address_mode="weird")
+
+    def test_invalid_filter_mode(self):
+        with pytest.raises(ValueError):
+            TextureDescriptor(filter_mode="cubic")
+
+    def test_wrap_requires_normalized(self):
+        with pytest.raises(ValueError):
+            TextureDescriptor(address_mode="wrap", normalized_coords=False)
+
+
+class TestLayeredTexture:
+    def test_from_feature_map_layer_indexing(self):
+        fm = rng(0).normal(size=(2, 3, 4, 4)).astype(np.float32)
+        tex = LayeredTexture2D.from_feature_map(fm)
+        assert tex.num_layers == 6
+        # layer n*C + c convention (paper: batch folded into layers)
+        assert np.allclose(tex.data[1 * 3 + 2], fm[1, 2])
+
+    def test_extent_limit_enforced(self):
+        # N*C > 2048 exceeds the Xavier layered-texture limit (paper §III-B)
+        fm = np.zeros((1, 3000, 2, 2), dtype=np.float32)
+        with pytest.raises(ValueError):
+            LayeredTexture2D.from_feature_map(fm, spec=XAVIER)
+
+    def test_fits_texture_limits_helper(self):
+        assert fits_texture_limits((1, 2048, 10, 10), XAVIER)
+        assert not fits_texture_limits((2, 2000, 10, 10), XAVIER)
+
+    def test_footprint_bytes(self):
+        assert texture_footprint_bytes((2, 3, 4, 5)) == 2 * 3 * 4 * 5 * 4
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ValueError):
+            LayeredTexture2D(np.zeros((4, 4), dtype=np.float32))
+
+
+class TestLinearFiltering:
+    def test_matches_software_within_fixed_point(self):
+        img = rng(1).normal(size=(9, 11)).astype(np.float32)
+        tex = LayeredTexture2D(img[None])
+        py = rng(2).uniform(-1.0, 9.5, size=(200,)).astype(np.float32)
+        px = rng(3).uniform(-1.0, 11.5, size=(200,)).astype(np.float32)
+        hw = tex.fetch_at_pixel_coords(np.zeros(200, dtype=np.int64), py, px)
+        sw = bilinear_sample(img, py, px)
+        # two coordinates, each quantised to 2^-8, against |img| ~ 3
+        tol = 4.0 * 2 ** -FIXED_POINT_FRACTION_BITS * np.abs(img).max() * 2
+        assert np.abs(hw - sw).max() < tol
+
+    def test_exact_at_texel_centres(self):
+        img = rng(4).normal(size=(5, 5)).astype(np.float32)
+        tex = LayeredTexture2D(img[None])
+        ys, xs = np.mgrid[0:5, 0:5]
+        vals = tex.fetch_at_pixel_coords(
+            np.zeros(25, dtype=np.int64),
+            ys.ravel().astype(np.float32), xs.ravel().astype(np.float32))
+        assert np.allclose(vals, img.ravel(), atol=1e-6)
+
+    def test_border_mode_zero_outside(self):
+        img = np.ones((4, 4), dtype=np.float32)
+        tex = LayeredTexture2D(img[None])
+        v = tex.fetch_at_pixel_coords(np.array([0]),
+                                      np.array([-3.0], dtype=np.float32),
+                                      np.array([1.0], dtype=np.float32))
+        assert np.allclose(v, 0.0)
+
+    def test_clamp_mode_replicates_edge(self):
+        img = np.arange(16, dtype=np.float32).reshape(4, 4)
+        tex = LayeredTexture2D(
+            img[None], desc=TextureDescriptor(address_mode="clamp"))
+        v = tex.fetch_at_pixel_coords(np.array([0]),
+                                      np.array([-5.0], dtype=np.float32),
+                                      np.array([0.0], dtype=np.float32))
+        assert np.allclose(v, img[0, 0], atol=1e-5)
+
+    def test_point_filtering_nearest(self):
+        img = np.arange(9, dtype=np.float32).reshape(3, 3)
+        tex = LayeredTexture2D(
+            img[None], desc=TextureDescriptor(filter_mode="point"))
+        v = tex.fetch(np.array([0]), np.array([1.7], dtype=np.float32),
+                      np.array([2.2], dtype=np.float32))
+        assert np.allclose(v, img[1, 2])
+
+    def test_wrap_mode_periodic(self):
+        img = np.arange(4, dtype=np.float32).reshape(1, 4)
+        tex = LayeredTexture2D(
+            img[None],
+            desc=TextureDescriptor(address_mode="wrap",
+                                   filter_mode="point",
+                                   normalized_coords=True))
+        # x = 1.25 normalised wraps to 0.25 -> texel 1
+        v = tex.fetch(np.array([0]), np.array([0.1], dtype=np.float32),
+                      np.array([1.25], dtype=np.float32))
+        assert np.allclose(v, img[0, 1])
+
+    def test_mirror_mode_reflects(self):
+        img = np.arange(4, dtype=np.float32).reshape(1, 4)
+        tex = LayeredTexture2D(
+            img[None],
+            desc=TextureDescriptor(address_mode="mirror",
+                                   filter_mode="point",
+                                   normalized_coords=True))
+        # floor(1.25)=1 odd -> coordinate 1 - 0.25 = 0.75 -> texel 3
+        v = tex.fetch(np.array([0]), np.array([0.1], dtype=np.float32),
+                      np.array([1.25], dtype=np.float32))
+        assert np.allclose(v, img[0, 3])
+
+    def test_fp16_coords_close_to_fp32(self):
+        """tex2D++ numerics: fp16 coordinates keep 10 mantissa bits > the 8
+        the filter uses, so the deviation stays at fixed-point scale."""
+        img = rng(5).normal(size=(16, 16)).astype(np.float32)
+        tex32 = LayeredTexture2D(img[None])
+        tex16 = LayeredTexture2D(
+            img[None], desc=TextureDescriptor(fp16_coords=True))
+        py = rng(6).uniform(0, 15, size=(300,)).astype(np.float32)
+        px = rng(7).uniform(0, 15, size=(300,)).astype(np.float32)
+        layer = np.zeros(300, dtype=np.int64)
+        v32 = tex32.fetch_at_pixel_coords(layer, py, px)
+        v16 = tex16.fetch_at_pixel_coords(layer, py, px)
+        assert np.abs(v32 - v16).max() < 0.12 * np.abs(img).max()
+
+    def test_per_layer_isolation(self):
+        """Interpolation never mixes neighbouring channels (the reason the
+        paper picks layered textures over flat 2-D storage)."""
+        data = np.zeros((2, 4, 4), dtype=np.float32)
+        data[1] = 100.0
+        tex = LayeredTexture2D(data)
+        v = tex.fetch_at_pixel_coords(np.array([0]),
+                                      np.array([3.0], dtype=np.float32),
+                                      np.array([3.0], dtype=np.float32))
+        assert np.allclose(v, 0.0)

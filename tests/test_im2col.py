@@ -1,0 +1,85 @@
+"""im2col / col2im lowering tests."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.im2col import col2im, conv_output_size, im2col, sample_grid
+
+from helpers import rng
+
+
+class TestOutputSize:
+    def test_same_padding(self):
+        assert conv_output_size(8, 3, 1, 1) == 8
+
+    def test_stride_two(self):
+        assert conv_output_size(8, 3, 2, 1) == 4
+
+    def test_dilation(self):
+        # effective kernel 5 with dilation 2
+        assert conv_output_size(9, 3, 1, 0, dilation=2) == 5
+
+    @given(size=st.integers(4, 40), k=st.integers(1, 5),
+           stride=st.integers(1, 3), pad=st.integers(0, 2))
+    @settings(max_examples=50, deadline=None)
+    def test_always_positive_when_kernel_fits(self, size, k, stride, pad):
+        if size + 2 * pad >= k:
+            assert conv_output_size(size, k, stride, pad) >= 1
+
+
+class TestIm2Col:
+    def test_shapes(self):
+        x = rng(0).normal(size=(2, 3, 8, 8)).astype(np.float32)
+        cols = im2col(x, 3, 3, stride=1, padding=1)
+        assert cols.shape == (2, 3 * 9, 64)
+
+    def test_identity_kernel_1x1(self):
+        x = rng(1).normal(size=(1, 2, 4, 4)).astype(np.float32)
+        cols = im2col(x, 1, 1)
+        assert np.allclose(cols.reshape(1, 2, 4, 4), x)
+
+    def test_values_match_naive_window(self):
+        x = rng(2).normal(size=(1, 1, 5, 5)).astype(np.float32)
+        cols = im2col(x, 3, 3, stride=1, padding=0)
+        # output pixel (1, 1) corresponds to window x[0:3, 0:3] ... check a few
+        col = cols[0, :, 0].reshape(3, 3)
+        assert np.allclose(col, x[0, 0, 0:3, 0:3])
+        col_last = cols[0, :, -1].reshape(3, 3)
+        assert np.allclose(col_last, x[0, 0, 2:5, 2:5])
+
+    def test_padding_zero_fills(self):
+        x = np.ones((1, 1, 3, 3), dtype=np.float32)
+        cols = im2col(x, 3, 3, stride=1, padding=1)
+        corner = cols[0, :, 0].reshape(3, 3)
+        assert corner[0, 0] == 0.0 and corner[2, 2] == 1.0
+
+    @given(h=st.integers(3, 10), w=st.integers(3, 10),
+           stride=st.integers(1, 2), pad=st.integers(0, 1))
+    @settings(max_examples=30, deadline=None)
+    def test_col2im_is_adjoint_of_im2col(self, h, w, stride, pad):
+        """<im2col(x), y> == <x, col2im(y)> — exact adjointness."""
+        if conv_output_size(h, 3, stride, pad) < 1:
+            return
+        if conv_output_size(w, 3, stride, pad) < 1:
+            return
+        g = rng(h * 100 + w)
+        x = g.normal(size=(1, 2, h, w)).astype(np.float64)
+        cols = im2col(x, 3, 3, stride, pad)
+        y = g.normal(size=cols.shape).astype(np.float64)
+        lhs = float((cols * y).sum())
+        back = col2im(y, x.shape, 3, 3, stride, pad)
+        rhs = float((x * back).sum())
+        assert abs(lhs - rhs) < 1e-6 * max(1.0, abs(lhs))
+
+
+class TestSampleGrid:
+    def test_grid_shapes(self):
+        rows, cols, oh, ow = sample_grid(8, 8, 3, 3, 1, 1)
+        assert rows.shape == (9, 64) and cols.shape == (9, 64)
+        assert (oh, ow) == (8, 8)
+
+    def test_grid_indices_within_padded_bounds(self):
+        rows, cols, oh, ow = sample_grid(6, 6, 3, 3, 2, 1)
+        assert rows.min() >= 0 and rows.max() <= 6 + 2 * 1 - 1
+        assert cols.min() >= 0 and cols.max() <= 6 + 2 * 1 - 1

@@ -1,0 +1,123 @@
+"""Exact LRU cache tests + cross-validation of the analytic cache model."""
+
+import numpy as np
+import pytest
+
+from repro.deform import sampling_positions
+from repro.gpusim import XAVIER, TextureCacheModel
+from repro.gpusim.lru import ExactLRUCache, LRUCacheConfig
+
+from helpers import rng
+
+
+def small_cache(capacity_lines=8, ways=2):
+    return ExactLRUCache(LRUCacheConfig(
+        capacity_bytes=capacity_lines * 64, line_bytes=64, ways=ways,
+        line_tile=(4, 4)))
+
+
+class TestExactLRU:
+    def test_compulsory_misses(self):
+        cache = small_cache()
+        cache.access_lines(np.array([0, 1, 2, 3]))
+        assert cache.misses == 4 and cache.hits == 0
+
+    def test_reuse_hits(self):
+        cache = small_cache()
+        cache.access_lines(np.array([0, 1, 0, 1, 0]))
+        assert cache.misses == 2 and cache.hits == 3
+
+    def test_lru_eviction_order(self):
+        # 1 set, 2 ways: access 0,1 then 2 evicts the LRU (0)
+        cache = ExactLRUCache(LRUCacheConfig(
+            capacity_bytes=2 * 64, line_bytes=64, ways=2))
+        assert cache.config.num_sets == 1
+        cache.access_lines(np.array([0, 1, 2]))
+        cache.access_lines(np.array([1]))      # still resident
+        assert cache.hits == 1
+        cache.access_lines(np.array([0]))      # was evicted
+        assert cache.misses == 4
+
+    def test_mru_protected(self):
+        cache = ExactLRUCache(LRUCacheConfig(
+            capacity_bytes=2 * 64, line_bytes=64, ways=2))
+        cache.access_lines(np.array([0, 1, 0, 2]))   # evicts 1, not 0
+        cache.access_lines(np.array([0]))
+        assert cache.hits == 2   # the re-access of 0 mid-stream + final 0
+
+    def test_thrash_when_working_set_exceeds_capacity(self):
+        cache = small_cache(capacity_lines=4, ways=4)
+        stream = np.tile(np.arange(8), 10)   # 8 lines > 4-line capacity
+        cache.access_lines(stream)
+        assert cache.hits == 0   # cyclic pattern + LRU = pathological
+
+    def test_reset(self):
+        cache = small_cache()
+        cache.access_lines(np.array([0, 0]))
+        cache.reset()
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_simulate_texels_drops_out_of_bounds(self):
+        cache = small_cache()
+        stats = cache.simulate_texels(np.array([-5]), np.array([-5]), 8, 8)
+        assert stats.texel_reads == 0 and stats.misses == 0
+
+    def test_from_device(self):
+        cfg = LRUCacheConfig.from_device(XAVIER, concurrent_layers=4)
+        assert cfg.capacity_bytes == XAVIER.tex_cache_kb_per_sm * 1024 // 4
+        assert cfg.line_tile == tuple(XAVIER.tex_line_tile)
+
+
+class TestAnalyticModelValidation:
+    """The analytic CTA-granular model must track the exact LRU simulation
+    on deformable fetch traces — the agreement that justifies using the
+    fast model inside the Fig. 8 tile search."""
+
+    def _trace(self, out_hw=20, sigma=1.5, seed=0):
+        k = 9
+        off = (sigma * rng(seed).normal(size=(1, 2 * k, out_hw, out_hw))
+               ).astype(np.float32)
+        off = np.clip(off, -7, 7)
+        py, px = sampling_positions(off, (out_hw, out_hw), 3, 1, 1, 1, 1)
+        return (np.floor(py[0, 0]).astype(np.int64).ravel(),
+                np.floor(px[0, 0]).astype(np.int64).ravel(), out_hw)
+
+    @pytest.mark.parametrize("tile", [(4, 4), (10, 10), (20, 20)])
+    def test_hit_rates_track_exact_lru(self, tile):
+        y0, x0, hw = self._trace()
+        k, l = 9, hw * hw
+        ty, tx = tile
+        oy = np.repeat(np.arange(hw), hw) // ty
+        ox = np.tile(np.arange(hw), hw) // tx
+        cta_of_pixel = oy * (-(-hw // tx)) + ox
+        cta = np.tile(cta_of_pixel, k)
+
+        analytic = TextureCacheModel(XAVIER, concurrent_layers=1).simulate(
+            y0, x0, cta, hw, hw)
+
+        exact = ExactLRUCache(LRUCacheConfig.from_device(XAVIER))
+        # replay CTA by CTA (the hardware interleaves, but per-CTA replay
+        # matches the analytic model's locality assumption)
+        order = np.argsort(cta, kind="stable")
+        stats = exact.simulate_texels(y0[order], x0[order], hw, hw)
+
+        assert analytic.texel_reads == stats.texel_reads
+        assert abs(analytic.hit_rate - stats.hit_rate) < 12.0
+
+    def test_miss_ordering_tracks_capacity(self):
+        """Shrinking the cache hurts both models in the same direction."""
+        y0, x0, hw = self._trace(out_hw=24)
+        cta = np.zeros(y0.size, dtype=np.int64)
+        big_exact = ExactLRUCache(LRUCacheConfig(
+            capacity_bytes=64 * 1024)).simulate_texels(y0, x0, hw, hw)
+        small_exact = ExactLRUCache(LRUCacheConfig(
+            capacity_bytes=1024)).simulate_texels(y0, x0, hw, hw)
+        assert small_exact.misses >= big_exact.misses
+
+        big_a = TextureCacheModel(
+            XAVIER.with_overrides(tex_cache_kb_per_sm=64),
+            concurrent_layers=1).simulate(y0, x0, cta, hw, hw)
+        small_a = TextureCacheModel(
+            XAVIER.with_overrides(tex_cache_kb_per_sm=1),
+            concurrent_layers=1).simulate(y0, x0, cta, hw, hw)
+        assert small_a.misses >= big_a.misses

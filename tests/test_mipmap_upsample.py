@@ -1,0 +1,121 @@
+"""Mipmapped arrays (the rejected storage) and texture upsampling (the
+future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import XAVIER, MipmappedTexture2D, downsample_2x2
+from repro.kernels import run_upsample_reference, run_upsample_tex2d
+
+from helpers import rng
+
+
+class TestDownsample:
+    def test_box_filter_values(self):
+        img = np.arange(16, dtype=np.float32).reshape(4, 4)
+        half = downsample_2x2(img)
+        assert half.shape == (2, 2)
+        assert half[0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+    def test_odd_extent_trimmed(self):
+        img = np.ones((5, 7), dtype=np.float32)
+        assert downsample_2x2(img).shape == (2, 3)
+
+    def test_preserves_mean(self):
+        img = rng(0).normal(size=(8, 8)).astype(np.float32)
+        assert downsample_2x2(img).mean() == pytest.approx(
+            img.mean(), abs=1e-5)
+
+
+class TestMipmap:
+    def test_pyramid_shapes(self):
+        mip = MipmappedTexture2D(np.zeros((16, 16), dtype=np.float32))
+        assert mip.num_levels == 5
+        assert mip.extent(0) == (16, 16)
+        assert mip.extent(4) == (1, 1)
+
+    def test_level0_matches_layered_texture(self):
+        img = rng(1).normal(size=(12, 12)).astype(np.float32)
+        mip = MipmappedTexture2D(img)
+        py = rng(2).uniform(0, 11, size=(50,)).astype(np.float32)
+        px = rng(3).uniform(0, 11, size=(50,)).astype(np.float32)
+        from repro.gpusim import LayeredTexture2D
+
+        tex = LayeredTexture2D(img[None])
+        a = mip.fetch_level(0, py, px)
+        b = tex.fetch_at_pixel_coords(np.zeros(50, dtype=np.int64), py, px)
+        assert np.allclose(a, b, atol=1e-6)
+
+    def test_higher_levels_lose_high_frequency(self):
+        """The paper's reason to reject mipmaps for DCN: any level above 0
+        returns low-passed values — resolution the offsets need is gone."""
+        ys, xs = np.mgrid[0:32, 0:32]
+        checker = ((ys + xs) % 2).astype(np.float32)   # highest frequency
+        mip = MipmappedTexture2D(checker)
+        py = np.array([1, 1, 2, 2, 9, 9], dtype=np.float32)
+        px = np.array([1, 2, 1, 2, 9, 10], dtype=np.float32)
+        v0 = mip.fetch_level(0, py, px)
+        v2 = mip.fetch_level(2, py, px)
+        # level 0 sees the alternation; level 2 has averaged it flat
+        # (border blending shifts absolute values near the image edge)
+        assert v0.std() > 0.2
+        assert v2.std() < 0.06
+        assert abs(v2[-1] - 0.5) < 0.05   # interior point sits at the mean
+
+    def test_build_cost_counted(self):
+        mip = MipmappedTexture2D(np.zeros((64, 64), dtype=np.float32))
+        # the pyramid build reads/computes every level from the previous one
+        assert mip.build_flops > 4 * (32 * 32)
+
+    def test_trilinear_blends_levels(self):
+        img = rng(4).normal(size=(16, 16)).astype(np.float32)
+        mip = MipmappedTexture2D(img)
+        py = np.array([5.3], dtype=np.float32)
+        px = np.array([7.8], dtype=np.float32)
+        v0 = mip.fetch_level(0, py, px)
+        v1 = mip.fetch_level(1, py, px)
+        vt = mip.fetch_trilinear(py, px, lod=0.5)
+        assert vt[0] == pytest.approx(0.5 * v0[0] + 0.5 * v1[0], abs=1e-5)
+
+    def test_level_bounds_checked(self):
+        mip = MipmappedTexture2D(np.zeros((8, 8), dtype=np.float32))
+        with pytest.raises(ValueError):
+            mip.fetch_level(99, np.zeros(1), np.zeros(1))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            MipmappedTexture2D(np.zeros((2, 4, 4), dtype=np.float32))
+
+
+class TestTextureUpsample:
+    def test_outputs_match_between_backends(self):
+        x = rng(5).normal(size=(1, 3, 8, 8)).astype(np.float32)
+        ref = run_upsample_reference(x, 2, XAVIER)
+        tex = run_upsample_tex2d(x, 2, XAVIER)
+        assert ref.output.shape == (1, 3, 16, 16)
+        # clamp-vs-zero edge handling differs in the border half-pixel ring;
+        # compare the interior
+        a = ref.output[..., 1:-1, 1:-1]
+        b = tex.output[..., 1:-1, 1:-1]
+        assert np.abs(a - b).max() < 0.02 * np.abs(a).max()
+
+    def test_upsample_preserves_constant(self):
+        x = np.full((1, 1, 6, 6), 3.5, dtype=np.float32)
+        tex = run_upsample_tex2d(x, 2, XAVIER)
+        assert np.allclose(tex.output, 3.5, atol=0.02)
+
+    def test_texture_backend_faster(self):
+        """The future-work claim: texture hardware also accelerates regular
+        bilinear upsampling (hardware lerp + fewer FLOPs)."""
+        x = rng(6).normal(size=(1, 64, 56, 56)).astype(np.float32)
+        ref = run_upsample_reference(x, 2, XAVIER, compute_output=False)
+        tex = run_upsample_tex2d(x, 2, XAVIER, compute_output=False)
+        assert tex.latency_ms < ref.latency_ms
+
+    def test_flop_reduction(self):
+        x = rng(7).normal(size=(1, 16, 20, 20)).astype(np.float32)
+        ref = run_upsample_reference(x, 2, XAVIER, compute_output=False)
+        tex = run_upsample_tex2d(x, 2, XAVIER, compute_output=False)
+        assert ref.kernels[0].flop_count_sp > 3 * tex.kernels[0].flop_count_sp
+        assert tex.kernels[0].tex_cache_requests > 0
+        assert ref.kernels[0].tex_cache_requests == 0

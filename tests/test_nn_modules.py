@@ -1,0 +1,213 @@
+"""Module system, layers, optimizers and schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (SGD, Adam, BatchNorm2d, Conv2d, CosineLR,
+                      DepthwiseConv2d, GroupNorm, Identity, Linear, Module,
+                      ModuleList, MultiStepLR, Parameter, PointwiseConv2d,
+                      ReLU, Sequential, Sigmoid, Tanh)
+from repro.tensor import Tensor
+
+from helpers import rng
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self):
+        class M(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.zeros(3))
+                self.child = Linear(2, 2)
+
+        m = M()
+        names = dict(m.named_parameters())
+        assert "w" in names
+        assert "child.weight" in names and "child.bias" in names
+
+    def test_num_parameters(self):
+        lin = Linear(3, 4)
+        assert lin.num_parameters() == 3 * 4 + 4
+
+    def test_train_eval_propagates(self):
+        seq = Sequential(Linear(2, 2), BatchNorm2d(2))
+        seq.eval()
+        assert not seq[1].training
+        seq.train()
+        assert seq[1].training
+
+    def test_zero_grad(self):
+        lin = Linear(2, 2)
+        out = lin(Tensor(np.ones((1, 2))))
+        out.sum().backward()
+        assert lin.weight.grad is not None
+        lin.zero_grad()
+        assert lin.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        a = Sequential(Conv2d(2, 3, 3, rng=rng(0)), BatchNorm2d(3))
+        b = Sequential(Conv2d(2, 3, 3, rng=rng(5)), BatchNorm2d(3))
+        state = a.state_dict()
+        b.load_state_dict(state)
+        for (_, pa), (_, pb) in zip(a.named_parameters(),
+                                    b.named_parameters()):
+            assert np.allclose(pa.data, pb.data)
+
+    def test_load_state_dict_shape_check(self):
+        a = Linear(2, 3)
+        bad = {k: np.zeros((1, 1)) for k in a.state_dict()}
+        with pytest.raises(ValueError):
+            a.load_state_dict(bad)
+
+    def test_load_state_dict_missing_key(self):
+        a = Linear(2, 3)
+        with pytest.raises(KeyError):
+            a.load_state_dict({})
+
+    def test_module_list(self):
+        ml = ModuleList([Linear(2, 2), Linear(2, 2)])
+        assert len(ml) == 2
+        assert ml[-1] is ml[1]
+        assert len(list(ml.parameters())) == 4
+        with pytest.raises(RuntimeError):
+            ml(Tensor(np.zeros((1, 2))))
+
+    def test_sequential_iteration_and_indexing(self):
+        seq = Sequential(ReLU(), Tanh(), Sigmoid())
+        assert len(seq) == 3
+        assert isinstance(seq[-1], Sigmoid)
+        assert [type(m).__name__ for m in seq] == ["ReLU", "Tanh", "Sigmoid"]
+
+
+class TestLayers:
+    def test_conv_output_shape_helper(self):
+        conv = Conv2d(3, 8, 3, stride=2, padding=1, rng=rng(0))
+        assert conv.output_shape(16, 16) == (8, 8, 8)
+
+    def test_conv_macs(self):
+        conv = Conv2d(4, 8, 3, padding=1, rng=rng(0))
+        # 8 out ch × 16 pixels × 4 in × 9 taps
+        assert conv.macs(4, 4) == 8 * 16 * 4 * 9
+
+    def test_depthwise_is_grouped(self):
+        dw = DepthwiseConv2d(6, rng=rng(0))
+        assert dw.groups == 6
+        x = Tensor(rng(1).normal(size=(1, 6, 5, 5)))
+        assert dw(x).shape == (1, 6, 5, 5)
+
+    def test_pointwise_shape(self):
+        pw = PointwiseConv2d(6, 10, rng=rng(0))
+        x = Tensor(rng(1).normal(size=(2, 6, 5, 5)))
+        assert pw(x).shape == (2, 10, 5, 5)
+
+    def test_conv_invalid_groups(self):
+        with pytest.raises(ValueError):
+            Conv2d(3, 4, 3, groups=2)
+
+    def test_batchnorm_normalises_in_train(self):
+        bn = BatchNorm2d(3)
+        x = Tensor(rng(2).normal(loc=5.0, scale=3.0, size=(8, 3, 6, 6)))
+        out = bn(x)
+        assert abs(float(out.data.mean())) < 1e-3
+        assert float(out.data.std()) == pytest.approx(1.0, abs=1e-2)
+
+    def test_batchnorm_running_stats_used_in_eval(self):
+        bn = BatchNorm2d(2, momentum=1.0)
+        x = Tensor(rng(3).normal(loc=2.0, size=(16, 2, 4, 4)))
+        bn(x)  # one training pass with momentum 1 copies batch stats
+        bn.eval()
+        out = bn(Tensor(np.full((1, 2, 4, 4), 2.0, dtype=np.float32)))
+        assert abs(float(out.data.mean())) < 0.2
+
+    def test_batchnorm_channel_check(self):
+        bn = BatchNorm2d(3)
+        with pytest.raises(ValueError):
+            bn(Tensor(np.zeros((1, 4, 2, 2))))
+
+    def test_groupnorm_statistics(self):
+        gn = GroupNorm(2, 4)
+        x = Tensor(rng(4).normal(loc=3.0, size=(2, 4, 8, 8)))
+        out = gn(x)
+        grp = out.data.reshape(2, 2, 2, 8, 8)
+        assert np.allclose(grp.mean(axis=(2, 3, 4)), 0.0, atol=1e-3)
+
+    def test_groupnorm_divisibility(self):
+        with pytest.raises(ValueError):
+            GroupNorm(3, 4)
+
+    def test_identity(self):
+        x = Tensor(np.ones(3))
+        assert Identity()(x) is x
+
+
+class TestOptimizers:
+    def _minimise(self, opt_cls, **kwargs):
+        w = Parameter(np.array([5.0, -3.0], dtype=np.float32))
+        opt = opt_cls([w], **kwargs)
+        for _ in range(150):
+            loss = (w * w).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        return w
+
+    def test_sgd_converges(self):
+        w = self._minimise(SGD, lr=0.1, momentum=0.0)
+        assert np.abs(w.data).max() < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        w = self._minimise(SGD, lr=0.05, momentum=0.9)
+        assert np.abs(w.data).max() < 1e-3
+
+    def test_adam_converges(self):
+        w = self._minimise(Adam, lr=0.1)
+        assert np.abs(w.data).max() < 1e-2
+
+    def test_weight_decay_shrinks(self):
+        w = Parameter(np.array([1.0], dtype=np.float32))
+        opt = SGD([w], lr=0.1, momentum=0.0, weight_decay=0.5)
+        # zero task gradient — pure decay
+        w.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        assert w.data[0] == pytest.approx(0.95)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_skips_params_without_grad(self):
+        w = Parameter(np.array([1.0], dtype=np.float32))
+        SGD([w], lr=0.1).step()  # no grad — should be a no-op
+        assert w.data[0] == pytest.approx(1.0)
+
+
+class TestSchedulers:
+    def test_multistep_decays(self):
+        w = Parameter(np.zeros(1))
+        opt = SGD([w], lr=1e-2)
+        sched = MultiStepLR(opt, milestones=[2, 4], gamma=0.1)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs[0] == pytest.approx(1e-2)
+        assert lrs[1] == pytest.approx(1e-3)
+        assert lrs[3] == pytest.approx(1e-4)
+
+    def test_multistep_floor(self):
+        w = Parameter(np.zeros(1))
+        opt = SGD([w], lr=1e-2)
+        sched = MultiStepLR(opt, milestones=[1, 2, 3, 4], gamma=0.1,
+                            min_lr=1e-6)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(1e-6)
+
+    def test_cosine_endpoints(self):
+        w = Parameter(np.zeros(1))
+        opt = SGD([w], lr=1.0)
+        sched = CosineLR(opt, total_steps=10, min_lr=0.0)
+        sched.step_count = 0
+        assert sched.get_lr() == pytest.approx(1.0)
+        sched.step_count = 10
+        assert sched.get_lr() == pytest.approx(0.0, abs=1e-9)

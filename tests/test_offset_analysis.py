@@ -1,0 +1,78 @@
+"""Offset/receptive-field analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.deform import (DeformConv2d, ascii_heatmap,
+                          deformation_magnitude_map, model_offset_report,
+                          offset_stats)
+from repro.models import build_classifier
+from repro.tensor import Tensor
+
+from helpers import rng
+
+
+class TestOffsetStats:
+    def test_zero_offsets(self):
+        stats = offset_stats(np.zeros((1, 18, 4, 4)))
+        assert stats.mean_magnitude == 0.0
+        assert stats.effective_radius == pytest.approx(1.0)  # 3x3 base
+
+    def test_known_displacement(self):
+        off = np.zeros((1, 18, 2, 2))
+        off[:, 0::2] = 3.0   # Δy = 3 everywhere, Δx = 0
+        stats = offset_stats(off)
+        assert stats.mean_magnitude == pytest.approx(3.0)
+        assert stats.max_magnitude == pytest.approx(3.0)
+        assert stats.effective_radius == pytest.approx(4.0)
+
+    def test_saturation_fraction(self):
+        off = np.zeros((1, 18, 1, 1))
+        off[0, :9] = 7.0    # half the components pinned at the bound
+        stats = offset_stats(off, bound=7.0)
+        assert stats.saturation == pytest.approx(0.5)
+
+    def test_dilation_extends_base_radius(self):
+        stats = offset_stats(np.zeros((1, 18, 2, 2)), dilation=2)
+        assert stats.effective_radius == pytest.approx(2.0)
+
+    def test_row_format(self):
+        row = offset_stats(np.zeros((1, 18, 2, 2))).row()
+        assert set(row) == {"mean|Δp|", "std", "max|Δp|", "saturation%",
+                            "eff_radius"}
+
+
+class TestModelReport:
+    def test_report_after_forward(self):
+        model = build_classifier("r50s", placement=[True] * 9, bound=7.0,
+                                 seed=0)
+        xs = rng(0).uniform(0, 1, size=(1, 3, 64, 64)).astype(np.float32)
+        model(Tensor(xs))
+        report = model_offset_report(model)
+        assert len(report) == 9
+        for stats in report.values():
+            assert stats.max_magnitude <= 7.0 + 1e-5
+
+    def test_empty_before_forward(self):
+        model = build_classifier("r50s", placement=[True] * 9, seed=0)
+        assert model_offset_report(model) == {}
+
+
+class TestHeatmap:
+    def test_magnitude_map_shape(self):
+        off = rng(1).normal(size=(2, 18, 6, 8)).astype(np.float32)
+        grid = deformation_magnitude_map(off)
+        assert grid.shape == (6, 8)
+        assert (grid >= 0).all()
+
+    def test_ascii_heatmap_renders(self):
+        grid = np.zeros((8, 8))
+        grid[4, 4] = 1.0
+        art = ascii_heatmap(grid)
+        lines = art.splitlines()
+        assert len(lines) == 8
+        assert "@" in art and " " in art
+
+    def test_ascii_heatmap_all_zero(self):
+        art = ascii_heatmap(np.zeros((4, 4)))
+        assert set(art.replace("\n", "")) == {" "}

@@ -1,0 +1,155 @@
+"""Offset policies (§III-A-c) and the lightweight offset head (Eq. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.deform import (DEFAULT_BOUND, LightweightOffsetHead, OffsetPolicy,
+                          RegularOffsetHead, bound_offsets, eq9_reduction,
+                          mac_reduction, offset_channels,
+                          offset_regularization, round_offsets)
+from repro.deform.macs import (breakdown, lightweight_offset_macs,
+                               main_conv_macs, regular_offset_macs,
+                               software_interp_flops)
+from repro.tensor import Tensor
+
+from helpers import check_gradients, rng
+
+
+class TestBoundPolicy:
+    def test_symmetric_clamp(self):
+        off = Tensor(np.array([-10.0, -3.0, 0.0, 3.0, 10.0]))
+        out = bound_offsets(off, 7.0)
+        assert np.allclose(out.data, [-7.0, -3.0, 0.0, 3.0, 7.0])
+
+    def test_nonnegative_variant(self):
+        off = Tensor(np.array([-2.0, 3.0, 9.0]))
+        out = bound_offsets(off, 7.0, symmetric=False)
+        assert np.allclose(out.data, [0.0, 3.0, 7.0])
+
+    def test_gradient_zero_outside_bound(self):
+        off = Tensor(np.array([-10.0, 1.0, 10.0]), requires_grad=True)
+        bound_offsets(off, 7.0).sum().backward()
+        assert np.allclose(off.grad, [0.0, 1.0, 0.0])
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            bound_offsets(Tensor([1.0]), -1.0)
+
+    def test_default_bound_is_seven(self):
+        assert DEFAULT_BOUND == 7.0
+
+
+class TestRoundPolicy:
+    def test_rounding_values(self):
+        off = Tensor(np.array([0.4, 0.6, -1.5, 2.5]))
+        out = round_offsets(off)
+        assert np.allclose(out.data, np.rint(off.data))
+
+    def test_straight_through_gradient(self):
+        off = Tensor(np.array([0.4, -1.7]), requires_grad=True)
+        round_offsets(off).sum().backward()
+        assert np.allclose(off.grad, [1.0, 1.0])
+
+
+class TestRegularization:
+    def test_zero_inside_bound(self):
+        off = Tensor(np.array([1.0, -6.9]))
+        assert offset_regularization(off, 7.0).item() == pytest.approx(0.0)
+
+    def test_quadratic_outside(self):
+        off = Tensor(np.array([9.0]))
+        assert offset_regularization(off, 7.0).item() == pytest.approx(4.0)
+
+    def test_gradient_flows(self):
+        off = Tensor(rng(0).uniform(-12, 12, size=(8,)), requires_grad=True)
+        check_gradients(lambda: offset_regularization(off, 7.0), [off])
+
+
+class TestOffsetPolicy:
+    def test_combined_bound_then_round(self):
+        policy = OffsetPolicy(bound=2.0, rounded=True)
+        off = Tensor(np.array([3.7, -0.4]))
+        out = policy(off)
+        assert np.allclose(out.data, [2.0, 0.0])
+
+    def test_noop_policy(self):
+        policy = OffsetPolicy()
+        off = Tensor(np.array([3.7]))
+        assert policy(off) is off
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            OffsetPolicy(bound=0.0)
+
+    def test_repr(self):
+        assert "bound=7.0" in repr(OffsetPolicy(bound=7.0))
+
+
+class TestOffsetHeads:
+    def test_offset_channels(self):
+        assert offset_channels(3) == 18
+        assert offset_channels(3, deformable_groups=4) == 72
+
+    def test_regular_head_zero_init_outputs_zero(self):
+        head = RegularOffsetHead(6, rng=rng(1))
+        x = Tensor(rng(2).normal(size=(1, 6, 8, 8)))
+        assert np.allclose(head(x).data, 0.0)
+
+    def test_lightweight_head_zero_init_outputs_zero(self):
+        head = LightweightOffsetHead(6, rng=rng(3))
+        x = Tensor(rng(4).normal(size=(1, 6, 8, 8)))
+        assert np.allclose(head(x).data, 0.0)
+
+    def test_head_output_shapes(self):
+        for head_cls in (RegularOffsetHead, LightweightOffsetHead):
+            head = head_cls(6, stride=2, deformable_groups=2, rng=rng(5))
+            x = Tensor(rng(6).normal(size=(2, 6, 8, 8)))
+            assert head(x).shape == (2, 36, 4, 4)
+
+    def test_lightweight_fewer_macs(self):
+        reg = RegularOffsetHead(32, rng=rng(7))
+        light = LightweightOffsetHead(32, rng=rng(7))
+        assert light.macs(16, 16) < reg.macs(16, 16)
+
+
+class TestEq9:
+    def test_closed_form_value(self):
+        assert eq9_reduction(3) == pytest.approx(1.0 - 27.0 / 162.0)
+        assert eq9_reduction(3) == pytest.approx(0.8333, abs=1e-4)
+
+    @pytest.mark.parametrize("channels,h", [(16, 8), (64, 32), (128, 16)])
+    def test_measured_matches_closed_form(self, channels, h):
+        assert mac_reduction(channels, h, h) == pytest.approx(
+            eq9_reduction(3), abs=1e-9)
+
+    def test_mac_formulas_consistent_with_layers(self):
+        c, oh, ow = 16, 8, 8
+        reg = RegularOffsetHead(c, rng=rng(8))
+        light = LightweightOffsetHead(c, rng=rng(8))
+        assert reg.macs(oh, ow) == regular_offset_macs(c, oh, ow, 3)
+        assert light.macs(oh, ow) == lightweight_offset_macs(c, oh, ow, 3)
+
+
+class TestBreakdown:
+    def test_texture_interp_removes_flops(self):
+        soft = breakdown(64, 64, 32, 32, texture_interp=False)
+        hard = breakdown(64, 64, 32, 32, texture_interp=True)
+        assert soft.interp_flops > 0
+        assert hard.interp_flops == 0
+        assert soft.total_flops > hard.total_flops
+
+    def test_lightweight_reduces_offset_macs(self):
+        reg = breakdown(64, 64, 32, 32, lightweight=False)
+        light = breakdown(64, 64, 32, 32, lightweight=True)
+        assert light.offset_macs < reg.offset_macs
+        assert light.main_macs == reg.main_macs
+
+    def test_boundary_fraction_discount(self):
+        full = software_interp_flops(8, 16, 16, 3, boundary_fraction=0.0)
+        some = software_interp_flops(8, 16, 16, 3, boundary_fraction=0.25)
+        assert some == pytest.approx(0.75 * full, rel=1e-6)
+
+    def test_total_macs(self):
+        b = breakdown(8, 16, 4, 4)
+        assert b.total_macs == b.offset_macs + b.main_macs
+        assert b.main_macs == main_conv_macs(8, 16, 4, 4, 3)

@@ -1,0 +1,70 @@
+"""Latency-table persistence and whole-network profiling."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import RTX_2080TI, XAVIER
+from repro.kernels import LayerConfig
+from repro.nas import LatencyTable, manual_interval_placement
+from repro.pipeline import paper_scale_geometry, profile_network
+
+
+class TestLatencyTablePersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        table = LatencyTable(XAVIER)
+        cfgs = [LayerConfig(8, 8, 10, 10), LayerConfig(16, 16, 12, 12)]
+        table.build(cfgs)
+        path = tmp_path / "latency.json"
+        table.save(path)
+        loaded = LatencyTable.load(path, XAVIER)
+        assert len(loaded) == 2
+        for cfg in cfgs:
+            assert loaded.lookup(cfg).deform_ms == pytest.approx(
+                table.lookup(cfg).deform_ms)
+
+    def test_load_rejects_wrong_device(self, tmp_path):
+        table = LatencyTable(XAVIER)
+        table.build([LayerConfig(8, 8, 10, 10)])
+        path = tmp_path / "latency.json"
+        table.save(path)
+        with pytest.raises(ValueError):
+            LatencyTable.load(path, RTX_2080TI)
+
+    def test_loaded_table_extends(self, tmp_path):
+        table = LatencyTable(XAVIER)
+        table.build([LayerConfig(8, 8, 10, 10)])
+        path = tmp_path / "latency.json"
+        table.save(path)
+        loaded = LatencyTable.load(path, XAVIER)
+        loaded.lookup(LayerConfig(16, 16, 10, 10))   # fresh measurement
+        assert len(loaded) == 2
+
+
+class TestProfileNetwork:
+    def test_trace_covers_all_dcn_sites(self):
+        geo = paper_scale_geometry("r50s")
+        placement = manual_interval_placement(geo.num_sites, 3)
+        log = profile_network(geo, placement, XAVIER, backend="tex2dpp",
+                              bound=7.0)
+        # two kernels (sampling + GEMM) per deformable site
+        assert len(log.records) == 2 * sum(placement)
+        agg = log.by_name()
+        assert "deformable_tex2dpp" in agg
+        assert "implicit_gemm" in agg
+        assert log.total_ms > 0
+
+    def test_backends_differ_in_counters(self):
+        geo = paper_scale_geometry("r50s")
+        placement = manual_interval_placement(geo.num_sites, 3)
+        ref = profile_network(geo, placement, XAVIER, backend="pytorch")
+        tex = profile_network(geo, placement, XAVIER, backend="tex2d")
+        ref_sample = ref.by_name()["deformable_im2col"]
+        tex_sample = tex.by_name()["deformable_tex2d"]
+        assert ref_sample.tex_cache_requests == 0
+        assert tex_sample.tex_cache_requests > 0
+        assert ref_sample.flop_count_sp > 3 * tex_sample.flop_count_sp
+
+    def test_placement_validated(self):
+        geo = paper_scale_geometry("r50s")
+        with pytest.raises(ValueError):
+            profile_network(geo, [True], XAVIER)

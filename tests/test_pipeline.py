@@ -1,0 +1,220 @@
+"""Pipeline tests: losses, configs, paper-scale geometry, latency model,
+reporting."""
+
+import numpy as np
+import pytest
+
+from repro.data import ShapesDataset
+from repro.gpusim import RTX_2080TI, XAVIER
+from repro.models import build_yolact
+from repro.nas import manual_interval_placement
+from repro.pipeline import (DCN_SAMPLE_SCALE, ENGINE_SPEEDUP, TABLE3_ROWS,
+                            TABLE5_ROWS, DefconConfig, build_targets,
+                            candidate_site_configs, conv_ms, deform_op_ms,
+                            detection_loss, fixed_conv_configs,
+                            format_placement_diagram, format_speedup_bars,
+                            format_table, markdown_table, network_latency_ms,
+                            offset_head_ms, paper_scale_geometry)
+from repro.pipeline.losses import _downsample_mask
+from repro.tensor import Tensor
+
+from helpers import rng
+
+
+class TestDefconConfig:
+    def test_labels(self):
+        assert DefconConfig().label() == "baseline"
+        cfg = DefconConfig(search=True, boundary=True, lightweight=True,
+                           tex="tex2dpp")
+        assert cfg.label() == "search+boundary+light+tex2dpp"
+
+    def test_bound_property(self):
+        assert DefconConfig(boundary=True).bound == 7.0
+        assert DefconConfig().bound is None
+
+    def test_backend_property(self):
+        assert DefconConfig().backend == "pytorch"
+        assert DefconConfig(tex="tex2d").backend == "tex2d"
+
+    def test_table3_structure(self):
+        assert len(TABLE3_ROWS) == 6
+        assert TABLE3_ROWS[0] == DefconConfig()
+        assert all(r.search for r in TABLE3_ROWS[1:])
+
+    def test_table5_structure(self):
+        assert len(TABLE5_ROWS) == 3
+        assert TABLE5_ROWS[1].regularization and TABLE5_ROWS[2].rounded
+
+
+class TestLosses:
+    @pytest.fixture(scope="class")
+    def batch(self):
+        ds = ShapesDataset.generate(4, size=64, seed=0)
+        model = build_yolact("r50s", seed=0)
+        images = np.stack([s.image for s in ds.samples])
+        out = model(Tensor(images))
+        return model, out, ds.samples
+
+    def test_build_targets_assigns_centres(self):
+        ds = ShapesDataset.generate(4, size=64, seed=1)
+        (b, gy, gx, labels, boxes, masks, obj,
+         cls_dense) = build_targets(ds.samples, grid=16, size=64)
+        assert len(b) == len(labels) == len(masks)
+        assert obj.shape == (4, 16, 16)
+        assert obj.sum() == len(b)
+        assert (boxes >= 0).all() and (boxes <= 1).all()
+        # dense cls labels cover at least the centre cells
+        assert (cls_dense[b, gy, gx] == labels).all()
+        assert (cls_dense >= -1).all() and (cls_dense < 4).all()
+
+    def test_detection_loss_finite_and_positive(self, batch):
+        _, out, samples = batch
+        loss = detection_loss(out, samples, 64)
+        assert np.isfinite(loss.item()) and loss.item() > 0
+
+    def test_detection_loss_backward(self, batch):
+        model, out, samples = batch
+        loss = detection_loss(out, samples, 64)
+        loss.backward()
+        grads = [p.grad is not None for p in model.parameters()]
+        assert sum(grads) > 0.9 * len(grads)
+
+    def test_empty_instances_only_objectness(self):
+        from repro.data.shapes import Sample
+
+        model = build_yolact("r50s", seed=0)
+        images = rng(2).uniform(0, 1, size=(1, 3, 64, 64)).astype(np.float32)
+        out = model(Tensor(images))
+        empty = [Sample(image=images[0], instances=[])]
+        loss = detection_loss(out, empty, 64)
+        assert np.isfinite(loss.item())
+
+    def test_downsample_mask(self):
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[:4, :4] = True
+        small = _downsample_mask(mask, 2)
+        assert small.shape == (4, 4)
+        assert small[:2, :2].all() and not small[2:, 2:].any()
+
+
+class TestGeometry:
+    def test_candidate_sites_match_arch(self):
+        sites = candidate_site_configs("r101s")
+        assert len(sites) == 14
+        # channels per stage: 128 ×3, 256 ×8, 512 ×3
+        assert [c.in_channels for c in sites] == \
+            [128] * 3 + [256] * 8 + [512] * 3
+
+    def test_stage_entry_sites_are_stride2_full_size(self):
+        sites = candidate_site_configs("r101s")
+        assert sites[0].stride == 2 and sites[0].height == 138
+        assert sites[1].stride == 1 and sites[1].height == 69
+        assert sites[3].stride == 2 and sites[3].height == 69
+
+    def test_deformable_groups_per_channel_group(self):
+        sites = candidate_site_configs("r101s")
+        assert sites[0].deformable_groups == 128 // 4
+        flat = candidate_site_configs("r101s",
+                                      deformable_groups_per_site=False)
+        assert all(c.deformable_groups == 1 for c in flat)
+
+    def test_fixed_convs_nonempty(self):
+        convs = fixed_conv_configs("r101s")
+        assert len(convs) > 30
+        assert convs[0].kernel_size == 7   # the stem
+
+    def test_geometry_bundle(self):
+        geo = paper_scale_geometry("r50s")
+        assert geo.num_sites == 9
+        assert geo.fixed_convs
+
+
+class TestLatencyModel:
+    @pytest.fixture(scope="class")
+    def geo(self):
+        return paper_scale_geometry("r101s")
+
+    def test_placement_length_validated(self, geo):
+        with pytest.raises(ValueError):
+            network_latency_ms(geo, [True], XAVIER)
+
+    def test_more_dcns_cost_more(self, geo):
+        none = network_latency_ms(geo, [False] * geo.num_sites, XAVIER)
+        five = network_latency_ms(geo, manual_interval_placement(
+            geo.num_sites, 3), XAVIER)
+        assert five.total_ms > none.total_ms
+
+    def test_lightweight_head_cheaper(self):
+        site = candidate_site_configs("r101s")[5]
+        reg = offset_head_ms(site, XAVIER, lightweight=False)
+        light = offset_head_ms(site, XAVIER, lightweight=True)
+        assert light < 0.5 * reg
+
+    def test_tex_backend_cheaper_deform_op(self):
+        site = candidate_site_configs("r101s")[5]
+        ref = deform_op_ms(site, XAVIER, "pytorch", bound=7.0)
+        tex = deform_op_ms(site, XAVIER, "tex2dpp", bound=7.0)
+        assert tex < ref
+
+    def test_table3_trajectory_shape(self, geo):
+        """The headline: end-to-end speedups ordered and ≈(1.2, 1.35, 2.7)."""
+        manual = manual_interval_placement(geo.num_sites, 3)
+        searched = list(manual)
+        on = [i for i, v in enumerate(searched) if v]
+        searched[on[1]] = False
+        bl = network_latency_ms(geo, manual, XAVIER).total_ms
+        s = network_latency_ms(geo, searched, XAVIER).total_ms
+        s_tex = network_latency_ms(geo, searched, XAVIER,
+                                   backend="tex2d").total_ms
+        s_all = network_latency_ms(geo, searched, XAVIER, backend="tex2dpp",
+                                   lightweight=True, bound=7.0).total_ms
+        assert 1.1 < bl / s < 1.35          # paper: 1.25×
+        assert bl / s < bl / s_tex < 1.6    # paper: 1.44×
+        assert 2.2 < bl / s_all < 3.3       # paper: 2.80×
+
+    def test_breakdown_components_sum(self, geo):
+        bd = network_latency_ms(geo, manual_interval_placement(
+            geo.num_sites, 3), XAVIER)
+        assert bd.total_ms == pytest.approx(
+            bd.fixed_ms + bd.regular_site_ms + bd.offset_head_ms
+            + bd.deform_op_ms)
+        assert len(bd.per_site) == 5
+
+    def test_constants_exposed(self):
+        assert DCN_SAMPLE_SCALE > 1.0 and ENGINE_SPEEDUP > 1.0
+
+    def test_2080ti_faster_than_xavier(self, geo):
+        placement = manual_interval_placement(geo.num_sites, 3)
+        xa = network_latency_ms(geo, placement, XAVIER).total_ms
+        ti = network_latency_ms(geo, placement, RTX_2080TI).total_ms
+        assert ti < xa
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"],
+                            [["a", 1.5], ["bb", 20.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.50" in text and "20.25" in text
+
+    def test_format_table_bool_rendering(self):
+        text = format_table(["flag"], [[True], [False]])
+        assert "yes" in text
+
+    def test_speedup_bars(self):
+        text = format_speedup_bars(["a", "b"], [1.0, 2.0], title="S")
+        assert text.splitlines()[0] == "S"
+        assert text.count("#") > 0
+        assert "2.00x" in text
+
+    def test_placement_diagram(self):
+        text = format_placement_diagram([True, False, False, True],
+                                        [2, 2], label="ours")
+        assert text.startswith("ours: ")
+        assert "[D][.]" in text and "(2 DCNs)" in text
+        assert "|" in text
+
+    def test_markdown_table(self):
+        text = markdown_table(["a"], [[1.0]])
+        assert text.splitlines()[1] == "|---|"

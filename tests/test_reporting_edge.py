@@ -1,0 +1,52 @@
+"""Reporting-module edge cases and formatting invariants."""
+
+import pytest
+
+from repro.pipeline.reporting import (_fmt, format_placement_diagram,
+                                      format_speedup_bars, format_table,
+                                      markdown_table)
+
+
+class TestFormatters:
+    def test_fmt_variants(self):
+        assert _fmt(True) == "yes"
+        assert _fmt(False) == ""
+        assert _fmt(1.234) == "1.23"
+        assert _fmt("txt") == "txt"
+        assert _fmt(7) == "7"
+
+    def test_empty_rows_table(self):
+        text = format_table(["a", "b"], [])
+        lines = text.splitlines()
+        assert lines[0].strip().startswith("a")
+        assert set(lines[1].replace(" ", "")) == {"-"}
+
+    def test_table_column_alignment(self):
+        text = format_table(["col"], [["x"], ["longer"]])
+        lines = text.splitlines()
+        widths = {len(l) for l in lines}
+        assert len(widths) == 1   # all lines padded to equal width
+
+    def test_bars_empty(self):
+        assert format_speedup_bars([], [], title="T") == "T"
+
+    def test_bars_minimum_one_hash(self):
+        text = format_speedup_bars(["tiny", "big"], [0.001, 10.0])
+        tiny_line = text.splitlines()[0]
+        assert "#" in tiny_line
+
+    def test_bars_unit(self):
+        text = format_speedup_bars(["a"], [2.0], unit="ms")
+        assert "2.00ms" in text
+
+    def test_placement_diagram_stage_bars(self):
+        text = format_placement_diagram([True] * 4, [2, 2])
+        assert text.count("|") == 1
+        assert text.count("[D]") == 4
+
+    def test_markdown_table_structure(self):
+        text = markdown_table(["x", "y"], [[1, 2.5]])
+        lines = text.splitlines()
+        assert lines[0] == "| x | y |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2.50 |"

@@ -1,0 +1,109 @@
+"""Trace-generation tests: warp shaping, sampling plans, CTA tagging."""
+
+import numpy as np
+import pytest
+
+from repro.deform import sampling_positions
+from repro.gpusim import XAVIER, SamplePlan, deform_input_coalescing
+from repro.gpusim.trace import texture_fetch_trace, warp_addresses_for_corner
+
+from helpers import rng
+
+
+def make_positions(k=9, out_h=12, out_w=12, sigma=1.5, seed=0):
+    off = (sigma * rng(seed).normal(size=(1, 2 * k, out_h, out_w))
+           ).astype(np.float32)
+    py, px = sampling_positions(off, (out_h, out_w), 3, 1, 1, 1, 1)
+    return py[0, 0], px[0, 0]
+
+
+class TestWarpAddresses:
+    def test_shapes_and_padding(self):
+        py, px = make_positions(out_h=5, out_w=5)   # L = 25, pads to 32
+        addr, (y, x), scale = warp_addresses_for_corner(
+            py, px, (0, 0), width=5, dtype_bytes=4, spec=XAVIER)
+        assert addr.shape[1] == 32
+        assert addr.shape[0] == 9      # one warp per tap after padding
+        assert scale == 1.0
+
+    def test_corner_offsets_applied(self):
+        py, px = make_positions()
+        a00, (y00, _), _ = warp_addresses_for_corner(
+            py, px, (0, 0), 12, 4, XAVIER)
+        a10, (y10, _), _ = warp_addresses_for_corner(
+            py, px, (1, 0), 12, 4, XAVIER)
+        assert np.array_equal(y10, y00 + 1)
+
+    def test_sampling_reduces_warps_and_scales(self):
+        py, px = make_positions(out_h=40, out_w=40)
+        plan = SamplePlan(max_warps=10, seed=0)
+        addr, _, scale = warp_addresses_for_corner(
+            py, px, (0, 0), 40, 4, XAVIER, plan)
+        assert addr.shape[0] == 10
+        full_warps = 9 * ((40 * 40 + 31) // 32)
+        assert scale == pytest.approx(full_warps / 10)
+
+    def test_sampling_deterministic(self):
+        py, px = make_positions(out_h=40, out_w=40)
+        plan = SamplePlan(max_warps=8, seed=3)
+        a1, _, _ = warp_addresses_for_corner(py, px, (0, 0), 40, 4, XAVIER,
+                                             plan)
+        a2, _, _ = warp_addresses_for_corner(py, px, (0, 0), 40, 4, XAVIER,
+                                             plan)
+        assert np.array_equal(a1, a2)
+
+
+class TestDeformInputCoalescing:
+    def test_channel_scaling_linear(self):
+        py, px = make_positions()
+        one = deform_input_coalescing(py, px, 12, 12, channels=1,
+                                      dtype_bytes=4, spec=XAVIER)
+        four = deform_input_coalescing(py, px, 12, 12, channels=4,
+                                       dtype_bytes=4, spec=XAVIER)
+        assert four.transactions == 4 * one.transactions
+        assert four.bytes_requested == pytest.approx(
+            4 * one.bytes_requested)
+
+    def test_smoother_offsets_coalesce_better(self):
+        k, oh, ow = 9, 24, 24
+        zero_off = np.zeros((1, 2 * k, oh, ow), dtype=np.float32)
+        py0, px0 = sampling_positions(zero_off, (oh, ow), 3, 1, 1, 1, 1)
+        wild = (5.0 * rng(1).normal(size=(1, 2 * k, oh, ow))
+                ).astype(np.float32)
+        pyw, pxw = sampling_positions(wild, (oh, ow), 3, 1, 1, 1, 1)
+        smooth = deform_input_coalescing(py0[0, 0], px0[0, 0], oh, ow, 1, 4,
+                                         XAVIER)
+        rough = deform_input_coalescing(pyw[0, 0], pxw[0, 0], oh, ow, 1, 4,
+                                        XAVIER)
+        assert smooth.efficiency > rough.efficiency
+
+    def test_out_of_bounds_corners_suppressed(self):
+        """All positions far outside the image: no active lanes at all."""
+        k, oh, ow = 9, 8, 8
+        off = np.full((1, 2 * k, oh, ow), 100.0, dtype=np.float32)
+        py, px = sampling_positions(off, (oh, ow), 3, 1, 1, 1, 1)
+        stats = deform_input_coalescing(py[0, 0], px[0, 0], oh, ow, 1, 4,
+                                        XAVIER)
+        assert stats.bytes_requested == 0.0
+
+
+class TestTextureFetchTrace:
+    def test_cta_tagging_matches_tiles(self):
+        py, px = make_positions(out_h=8, out_w=8, sigma=0.0)
+        y0, x0, cta, scale = texture_fetch_trace(py, px, out_w=8,
+                                                 tile=(4, 4))
+        assert scale == 1.0
+        # 8x8 output with 4x4 tiles -> 4 CTAs
+        assert set(np.unique(cta)) == {0, 1, 2, 3}
+        # the centre tap of output pixel (0,0) belongs to CTA 0
+        assert cta[4 * 64] == 0
+
+    def test_fetch_sampling_keeps_whole_ctas(self):
+        py, px = make_positions(out_h=32, out_w=32)
+        plan = SamplePlan(max_fetches=2000, seed=0)
+        y0, x0, cta, scale = texture_fetch_trace(py, px, out_w=32,
+                                                 tile=(8, 8), plan=plan)
+        assert scale > 1.0
+        # every surviving CTA keeps its full fetch set (16 CTAs × 64 px × 9)
+        _, counts = np.unique(cta, return_counts=True)
+        assert (counts == counts[0]).all()

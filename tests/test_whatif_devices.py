@@ -1,0 +1,45 @@
+"""What-if device presets (Orin / 3090 extrapolations)."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import DEVICES, ORIN, RTX_2080TI, RTX_3090, XAVIER, get_device
+from repro.kernels import LayerConfig, run_layer_all_backends
+
+
+class TestWhatIfPresets:
+    def test_registered_with_aliases(self):
+        assert get_device("orin") is ORIN
+        assert get_device("3090") is RTX_3090
+        assert len(DEVICES) == 4
+
+    def test_orin_is_a_faster_xavier(self):
+        assert ORIN.peak_gflops > 2 * XAVIER.peak_gflops
+        assert ORIN.dram_bandwidth_gbps > XAVIER.dram_bandwidth_gbps
+        # inherits the Jetson framework-overhead character
+        assert ORIN.framework_extra_launches == \
+            XAVIER.framework_extra_launches
+
+    def test_3090_extends_2080ti(self):
+        assert RTX_3090.peak_gflops > RTX_2080TI.peak_gflops
+        assert RTX_3090.offset_channel_block == \
+            RTX_2080TI.offset_channel_block
+
+    @pytest.mark.parametrize("spec", [ORIN, RTX_3090])
+    def test_texture_path_still_wins(self, spec):
+        """The DEFCON mechanism projects onto newer parts of each family."""
+        res = run_layer_all_backends(LayerConfig(128, 128, 69, 69), spec,
+                                     bound=7.0, compute_output=False)
+        bl = res["pytorch"].sample_kernel.duration_ms
+        tp = res["tex2dpp"].sample_kernel.duration_ms
+        assert bl / tp > 1.0
+
+    def test_newer_devices_faster_in_absolute_terms(self):
+        cfg = LayerConfig(256, 256, 69, 69)
+        times = {}
+        for spec in (XAVIER, ORIN, RTX_2080TI, RTX_3090):
+            res = run_layer_all_backends(cfg, spec, bound=7.0,
+                                         compute_output=False)
+            times[spec.name] = res["tex2dpp"].sample_kernel.duration_ms
+        assert times["jetson-agx-orin"] < times["jetson-agx-xavier"]
+        assert times["rtx-3090"] < times["rtx-2080ti"]

@@ -1,0 +1,85 @@
+"""Calibrate the four free device-model constants against the paper.
+
+The GPU model's *mechanisms* (coalescing, texture cache, occupancy, wave
+quantisation) are fixed; four throughput constants per device are not
+directly published and are fitted once against the speedup columns of the
+paper's Table II (Xavier) and Table IV (2080 Ti):
+
+* ``scattered_penalty``     — achievable fraction of L2 bandwidth on
+  scattered sector traffic;
+* ``l2_bandwidth_ratio``    — L2 : DRAM bandwidth ratio;
+* ``tex_fp32_rate_divisor`` — fp32 bilinear filtering rate divisor;
+* ``gather_dram_reuse``     — DRAM-side reuse bound of gathered inputs.
+
+Run:  ``python tools/calibrate_devices.py``
+The chosen constants are printed and baked into ``repro/gpusim/device.py``
+by hand; this script stays in the repo so the fit is reproducible.  Note
+the fit only uses speedup *ratios* — absolute latencies are never matched
+(the paper's rows aggregate an unknown number of invocations).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.gpusim.device import RTX_2080TI, XAVIER
+from repro.kernels import TABLE2_LAYERS, run_layer_all_backends
+
+# Paper Table II (Xavier) and Table IV (2080Ti): per-row speedup of tex2D
+# and tex2D++ over the PyTorch baseline.
+PAPER = {
+    "jetson-agx-xavier": {
+        "tex2d": [1.14, 1.31, 1.30, 1.34, 1.25, 1.34],
+        "tex2dpp": [1.41, 1.34, 1.33, 1.39, 1.39, 1.40],
+    },
+    "rtx-2080ti": {
+        "tex2d": [1.09, 1.30, 1.30, 1.25, 1.08, 1.20],
+        "tex2dpp": [1.10, 1.30, 1.30, 1.26, 1.10, 1.20],
+    },
+}
+
+GRID = {
+    "scattered_penalty": (0.8, 1.2, 1.6, 2.0, 2.6),
+    "l2_bandwidth_ratio": (2.5, 3.5),
+    "tex_fp32_rate_divisor": (1, 2, 4),
+    "gather_dram_reuse": (2.0, 4.0, 8.0),
+}
+
+
+def model_speedups(spec):
+    s2d, s2dpp = [], []
+    for cfg in TABLE2_LAYERS:
+        res = run_layer_all_backends(cfg, spec, bound=7.0,
+                                     compute_output=False)
+        bl = res["pytorch"].sample_kernel.duration_ms
+        s2d.append(bl / res["tex2d"].sample_kernel.duration_ms)
+        s2dpp.append(bl / res["tex2dpp"].sample_kernel.duration_ms)
+    return np.array(s2d), np.array(s2dpp)
+
+
+def fit(base_spec):
+    target2d = np.array(PAPER[base_spec.name]["tex2d"])
+    target2dpp = np.array(PAPER[base_spec.name]["tex2dpp"])
+    best = None
+    keys = list(GRID)
+    for values in itertools.product(*(GRID[k] for k in keys)):
+        spec = base_spec.with_overrides(**dict(zip(keys, values)))
+        s2d, s2dpp = model_speedups(spec)
+        err = float(((s2d - target2d) ** 2).sum()
+                    + ((s2dpp - target2dpp) ** 2).sum())
+        if best is None or err < best[0]:
+            best = (err, dict(zip(keys, values)), s2d, s2dpp)
+    return best
+
+
+if __name__ == "__main__":
+    for base in (XAVIER, RTX_2080TI):
+        err, params, s2d, s2dpp = fit(base)
+        print(f"== {base.name}  rms={np.sqrt(err / 12):.3f}")
+        print("  params:", params)
+        print("  tex2d  :", np.round(s2d, 2), "target",
+              PAPER[base.name]["tex2d"])
+        print("  tex2dpp:", np.round(s2dpp, 2), "target",
+              PAPER[base.name]["tex2dpp"])
