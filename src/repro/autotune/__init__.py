@@ -11,6 +11,8 @@ from repro.autotune.gp import GaussianProcess, rbf_kernel
 from repro.autotune.acquisition import expected_improvement, lower_confidence_bound
 from repro.autotune.bayesopt import BayesianOptimizer, TuneResult
 from repro.autotune.random_search import grid_search, random_search
+from repro.autotune.store import (FORMAT_VERSION, TUNER_VERSION, TileStore,
+                                  geometry_key)
 from repro.autotune.tuner import TileTuner
 
 __all__ = [
@@ -19,4 +21,5 @@ __all__ = [
     "BayesianOptimizer", "TuneResult",
     "random_search", "grid_search",
     "TileTuner",
+    "TileStore", "geometry_key", "TUNER_VERSION", "FORMAT_VERSION",
 ]

@@ -37,6 +37,24 @@ class TuneResult:
             trace.append(best)
         return trace
 
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (for the persistent tile store)."""
+        return {
+            "best_point": list(self.best_point),
+            "best_value": float(self.best_value),
+            "history": [[list(p), float(v)] for p, v in self.history],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TuneResult":
+        return cls(
+            best_point=tuple(int(v) for v in payload["best_point"]),
+            best_value=float(payload["best_value"]),
+            history=[(tuple(int(c) for c in p), float(v))
+                     for p, v in payload.get("history", [])],
+        )
+
 
 class BayesianOptimizer:
     """Minimise ``objective`` over a :class:`SearchSpace`."""

@@ -31,11 +31,20 @@ class TuneKey:
 
 
 class TileTuner:
-    """Search the (ty, tx) tile space for minimum simulated latency."""
+    """Search the (ty, tx) tile space for minimum simulated latency.
+
+    ``store`` plugs in a persistent backing store
+    (:class:`repro.autotune.store.TileStore`): tuning consults it before
+    evaluating the objective — a populated store means **zero** objective
+    evaluations — and writes fresh results back.
+    ``objective_evaluations`` counts every simulator call this tuner
+    actually made, so warm starts are observable.
+    """
 
     def __init__(self, spec: DeviceSpec, backend: str = "tex2d",
                  budget: int = 16, seed: int = 0,
-                 offset_sigma: float = 2.0, bound: Optional[float] = 7.0):
+                 offset_sigma: float = 2.0, bound: Optional[float] = 7.0,
+                 store=None):
         if backend not in ("tex2d", "tex2dpp"):
             raise ValueError("tile tuning applies to the texture backends")
         self.spec = spec
@@ -44,6 +53,8 @@ class TileTuner:
         self.seed = seed
         self.offset_sigma = offset_sigma
         self.bound = bound
+        self.store = store
+        self.objective_evaluations = 0
         self._cache: Dict[TuneKey, TuneResult] = {}
 
     # ------------------------------------------------------------------
@@ -57,6 +68,7 @@ class TileTuner:
         plan = SamplePlan(seed=self.seed)
 
         def latency(tile: Tuple[int, int]) -> float:
+            self.objective_evaluations += 1
             res = run_deform_op(self.backend, x, off, w, None, cfg,
                                 self.spec, tile=tuple(tile), plan=plan,
                                 compute_output=False)
@@ -69,10 +81,19 @@ class TileTuner:
 
     # ------------------------------------------------------------------
     def tune(self, cfg: LayerConfig, method: str = "bayes") -> TuneResult:
-        """Tune one layer; ``method`` in {'bayes', 'random', 'grid'}."""
+        """Tune one layer; ``method`` in {'bayes', 'random', 'grid'}.
+
+        Lookup order: in-memory cache → backing store (warm start, zero
+        objective evaluations) → fresh search (written back to the store).
+        """
         key = TuneKey(cfg, self.spec.name, f"{self.backend}:{method}")
         if key in self._cache:
             return self._cache[key]
+        if self.store is not None:
+            stored = self.store.get(cfg, self.spec.name, self.backend)
+            if stored is not None:
+                self._cache[key] = stored
+                return stored
         space = self.space(cfg)
         objective = self.objective(cfg)
         if method == "bayes":
@@ -86,6 +107,8 @@ class TileTuner:
         else:
             raise ValueError(f"unknown tuning method {method!r}")
         self._cache[key] = result
+        if self.store is not None:
+            self.store.put(cfg, self.spec.name, self.backend, result)
         return result
 
     def best_tile(self, cfg: LayerConfig) -> Tuple[int, int]:

@@ -8,7 +8,10 @@ user reaches for first:
 * ``end-to-end``    — the Table III trajectory for a device;
 * ``tune``          — autotune the CTA tile for one layer shape;
 * ``latency-table`` — build (and optionally save) the NAS latency table;
-* ``profile``       — nvprof-style counters for one layer on all backends.
+* ``profile``       — nvprof-style counters for one layer on all backends;
+* ``serve``         — batched serving demo: tile-store warm start, request
+  batching, per-stage metrics, batched-vs-sequential latency;
+* ``tiles``         — inspect / export / import the persistent tile store.
 """
 
 from __future__ import annotations
@@ -96,15 +99,21 @@ def cmd_end_to_end(args) -> int:
 
 def cmd_tune(args) -> int:
     """``repro tune`` — Bayesian tile-size search for one layer."""
+    from repro.autotune.store import TileStore
     from repro.autotune.tuner import TileTuner
 
     spec = get_device(args.device)
     cfg = _layer_from_arg(args.layer)
-    tuner = TileTuner(spec, backend=args.backend, budget=args.budget)
+    store = TileStore(args.store) if args.store else None
+    tuner = TileTuner(spec, backend=args.backend, budget=args.budget,
+                      store=store)
     result = tuner.tune(cfg, args.method)
+    warm = " (from tile store)" if tuner.objective_evaluations == 0 else ""
     print(f"best tile for {cfg.label()} on {spec.name} [{args.backend}]: "
           f"{result.best_point} @ {result.best_value:.4f} ms "
-          f"({result.evaluations} evaluations)")
+          f"({result.evaluations} evaluations{warm})")
+    if store is not None:
+        print(f"tile store {args.store}: {len(store)} entries")
     return 0
 
 
@@ -151,6 +160,122 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """``repro serve`` — batched serving demo with tile-store warm start."""
+    import numpy as np
+
+    from repro.autotune.store import TileStore
+    from repro.models import build_classifier, build_yolact
+    from repro.nas import manual_interval_placement
+    from repro.pipeline import DefconEngine
+    from repro.serve import RequestBatcher
+
+    if args.max_batch < 1 or args.requests < 1:
+        import sys as _sys
+        print("error: --max-batch and --requests must be >= 1",
+              file=_sys.stderr)
+        return 1
+    spec = get_device(args.device)
+    placement = manual_interval_placement(9 if args.arch == "r50s" else 14, 3)
+    if args.task == "detect":
+        model = build_yolact(args.arch, input_size=args.input_size,
+                             placement=placement, bound=7.0, seed=args.seed)
+        task_kwargs = {"score_threshold": 0.05}
+    else:
+        model = build_classifier(args.arch, input_size=args.input_size,
+                                 placement=placement, bound=7.0,
+                                 seed=args.seed)
+        task_kwargs = {}
+    store = TileStore(args.store) if args.store else None
+    autotune = args.autotune or store is not None
+
+    engine = DefconEngine(model, spec, backend=args.backend,
+                          autotune=autotune, tune_budget=args.tune_budget,
+                          tile_store=store)
+    if autotune:
+        print(f"autotune: {len(engine.tiles)} tile(s) bound, "
+              f"{engine.tune_evaluations} objective evaluation(s)"
+              + (" — warm start" if engine.tune_evaluations == 0 else ""))
+
+    rng = np.random.default_rng(args.seed)
+    images = [rng.uniform(0, 1, size=(3, args.input_size, args.input_size)
+                          ).astype(np.float32) for _ in range(args.requests)]
+
+    batcher = RequestBatcher(engine, task=args.task,
+                             max_batch_size=args.max_batch,
+                             max_wait_s=args.max_wait, **task_kwargs)
+    batcher.serve_all(images)
+    batched_ms = batcher.metrics.sim_ms_per_image
+
+    # sequential baseline: one engine call per request, same tiles
+    seq_engine = DefconEngine(model, spec, backend=args.backend,
+                              autotune=autotune,
+                              tune_budget=args.tune_budget, tile_store=store)
+    for img in images:
+        if args.task == "detect":
+            seq_engine.detect(img[None], **task_kwargs)
+        else:
+            seq_engine.classify(img[None])
+    seq_ms = seq_engine.deformable_latency_ms() / len(images)
+
+    print(batcher.metrics.summary(nvprof_rows=engine.nvprof_rows()))
+    if batched_ms > 0:
+        print(f"\nper-image simulated deformable latency on {spec.name}: "
+              f"sequential {seq_ms:.4f} ms, batched {batched_ms:.4f} ms "
+              f"({seq_ms / batched_ms:.2f}x)")
+    stats = engine.tile_cache_stats
+    print(f"tile cache: {stats.hits} hits, {stats.near_hits} near-hits, "
+          f"{stats.misses} misses")
+    return 0
+
+
+def cmd_tiles(args) -> int:
+    """``repro tiles`` — show / export / import the persistent tile store."""
+    import json
+    import sys as _sys
+
+    from repro.autotune.store import TileStore
+
+    store = TileStore(args.store)
+    if args.action == "show":
+        rows = [[r["device"], r["backend"], f"v{r['tuner_version']}",
+                 r["geometry"], f"{r['tile']}",
+                 round(r["best_ms"], 4) if r["best_ms"] is not None else "-",
+                 r["evaluations"] or "-"] for r in store.rows()]
+        print(format_table(
+            ["device", "backend", "ver", "geometry", "tile", "best (ms)",
+             "evals"], rows,
+            title=f"Tile store {args.store} ({len(store)} entries)"))
+        return 0
+    if args.action == "export":
+        payload = json.dumps(store.export_payload(), indent=1, sort_keys=True)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(payload + "\n")
+            print(f"exported {len(store)} entries to {args.out}")
+        else:
+            _sys.stdout.write(payload + "\n")
+        return 0
+    if args.action == "import":
+        src = getattr(args, "from")
+        try:
+            with open(src) as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read tile payload {src}: {exc}",
+                  file=_sys.stderr)
+            return 1
+        try:
+            added = store.merge(payload, overwrite=args.overwrite)
+        except ValueError as exc:
+            print(f"error: {exc}", file=_sys.stderr)
+            return 1
+        print(f"imported {added} entries into {args.store} "
+              f"({len(store)} total)")
+        return 0
+    raise ValueError(f"unknown tiles action {args.action!r}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -177,6 +302,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", type=int, default=14)
     p.add_argument("--method", default="bayes",
                    choices=["bayes", "random", "grid"])
+    p.add_argument("--store", default=None,
+                   help="persist/reuse results in this tile-store JSON")
+
+    p = sub.add_parser("serve", help="batched serving demo with metrics")
+    p.add_argument("--device", default="xavier")
+    p.add_argument("--arch", default="r50s")
+    p.add_argument("--task", default="classify",
+                   choices=["classify", "detect"])
+    p.add_argument("--backend", default="tex2dpp",
+                   choices=["pytorch", "tex2d", "tex2dpp"])
+    p.add_argument("--requests", type=int, default=8)
+    p.add_argument("--max-batch", type=int, default=4)
+    p.add_argument("--max-wait", type=float, default=0.01)
+    p.add_argument("--input-size", type=int, default=64)
+    p.add_argument("--store", default=None,
+                   help="tile-store path (implies --autotune; warm start "
+                        "when populated)")
+    p.add_argument("--autotune", action="store_true")
+    p.add_argument("--tune-budget", type=int, default=6)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("tiles", help="inspect/export/import the tile store")
+    tiles_sub = p.add_subparsers(dest="action", required=True)
+    ps = tiles_sub.add_parser("show", help="list stored tiles")
+    ps.add_argument("--store", required=True)
+    pe = tiles_sub.add_parser("export", help="write a portable JSON dump")
+    pe.add_argument("--store", required=True)
+    pe.add_argument("--out", default=None, help="output path (default stdout)")
+    pi = tiles_sub.add_parser("import", help="merge an exported dump")
+    pi.add_argument("--store", required=True)
+    pi.add_argument("from", metavar="FROM", help="exported JSON to merge")
+    pi.add_argument("--overwrite", action="store_true",
+                    help="replace existing entries on key collision")
 
     p = sub.add_parser("latency-table", help="build the NAS t(w_n) table")
     p.add_argument("--device", default="xavier")
@@ -198,6 +356,8 @@ COMMANDS = {
     "tune": cmd_tune,
     "latency-table": cmd_latency_table,
     "profile": cmd_profile,
+    "serve": cmd_serve,
+    "tiles": cmd_tiles,
 }
 
 

@@ -13,7 +13,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace
 from typing import Dict, List
 
 
@@ -62,8 +62,19 @@ class KernelStats:
         return 100.0 * self.tex_cache_hits / self.tex_texel_reads
 
     def merged(self, other: "KernelStats") -> "KernelStats":
-        """Counter-wise sum (durations add; ratios recomputed on demand)."""
-        out = KernelStats(name=self.name or other.name)
+        """Counter-wise sum (durations add; ratios recomputed on demand).
+
+        The result's ``name`` only claims a kernel identity when both
+        operands agree (or one is unnamed): an aggregate of two *different*
+        kernels is labelled with both, so it can never masquerade as either.
+        """
+        if self.name == other.name or not other.name:
+            name = self.name
+        elif not self.name:
+            name = other.name
+        else:
+            name = f"{self.name}+{other.name}"
+        out = KernelStats(name=name)
         for f in fields(KernelStats):
             if f.name == "name":
                 continue
@@ -85,13 +96,18 @@ class ProfileLog:
         return sum(r.duration_ms for r in self.records)
 
     def by_name(self) -> Dict[str, KernelStats]:
-        """Aggregate counters per kernel name."""
+        """Aggregate counters per kernel name.
+
+        Every returned row is a fresh object — including single-occurrence
+        names, which previously aliased the live record, so a caller
+        mutating the aggregate silently corrupted the log.
+        """
         agg: Dict[str, KernelStats] = {}
         for r in self.records:
             if r.name in agg:
                 agg[r.name] = agg[r.name].merged(r)
             else:
-                agg[r.name] = r
+                agg[r.name] = replace(r)
         return agg
 
     def summary_rows(self) -> List[dict]:

@@ -13,13 +13,46 @@ The CTA tile (ty, tx) trades off three effects the simulator models:
 
 from __future__ import annotations
 
-from typing import List, Tuple
+import math
+from typing import Iterable, List, Optional, Tuple
 
 from repro.gpusim.device import DeviceSpec
 from repro.kernels.config import LayerConfig
 
 #: Power-of-two candidate extents, as GPU kernels are usually written.
 CANDIDATE_EXTENTS = (2, 4, 8, 16, 32, 64)
+
+#: Canonical tile-cache key: the geometry fields the tile choice depends on.
+TileKey = Tuple[int, int, int, int]
+
+
+def tile_key(cfg: LayerConfig) -> TileKey:
+    """Canonical tile-cache key for one layer geometry.
+
+    Both the offline tuner (inserting tiles) and the runtime (looking them
+    up) must derive keys through this one function — deriving them
+    independently is exactly how tuned tiles get silently dropped.  Batch is
+    deliberately excluded: the tile partitions the output *plane*, and batch
+    only scales the grid's z extent.
+    """
+    return (cfg.in_channels, cfg.height, cfg.width, cfg.stride)
+
+
+def nearest_tile_key(key: TileKey,
+                     candidates: Iterable[TileKey]) -> Optional[TileKey]:
+    """The tuned key geometrically closest to ``key``, or None.
+
+    Only keys with the same channel count and stride qualify (those change
+    the kernel's arithmetic, not just its extent); among them the smallest
+    log-space spatial distance wins, so a resized input maps to the tile
+    tuned for the most similar feature-map footprint.
+    """
+    c, h, w, s = key
+    same = [k for k in candidates if k[0] == c and k[3] == s]
+    if not same:
+        return None
+    return min(same, key=lambda k: (abs(math.log(k[1] / h))
+                                    + abs(math.log(k[2] / w))))
 
 
 def enumerate_tiles(cfg: LayerConfig, spec: DeviceSpec,

@@ -15,8 +15,9 @@ unit, so the engine simultaneously produces:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
@@ -25,10 +26,34 @@ from repro.deform.layers import DeformConv2d
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.profiler import ProfileLog
 from repro.kernels.config import LayerConfig
-from repro.kernels.dispatch import run_deform_op
+from repro.kernels.dispatch import BACKENDS, run_deform_op
 from repro.kernels.tex2d import DEFAULT_TILE
+from repro.kernels.tiling import TileKey, nearest_tile_key, tile_key
 from repro.nn import Module
 from repro.tensor import Tensor
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class TileCacheStats:
+    """Observability for the tuned-tile lookup (nothing falls back silently).
+
+    * ``hits`` — exact tuned-geometry matches;
+    * ``near_hits`` — no exact match, but a tile tuned for the nearest
+      geometry with the same channels/stride was substituted (resized or
+      otherwise non-nominal inputs land here);
+    * ``misses`` — nothing tuned is applicable and the untuned
+      ``DEFAULT_TILE`` ran (each distinct geometry is also logged once).
+    """
+
+    hits: int = 0
+    near_hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.near_hits + self.misses
 
 
 @dataclass
@@ -38,9 +63,40 @@ class TextureRuntime:
     spec: DeviceSpec
     backend: str
     log: ProfileLog
-    tiles: Dict[Tuple[int, ...], Tuple[int, int]] = field(
-        default_factory=dict)
+    tiles: Dict[TileKey, Tuple[int, int]] = field(default_factory=dict)
     default_tile: Tuple[int, int] = DEFAULT_TILE
+    cache_stats: TileCacheStats = field(default_factory=TileCacheStats)
+    #: near-hit resolutions memoised per runtime geometry
+    resolved: Dict[TileKey, Tuple[int, int]] = field(default_factory=dict)
+    _warned: Set[TileKey] = field(default_factory=set)
+
+    def lookup_tile(self, cfg: LayerConfig) -> Tuple[int, int]:
+        """Resolve the CTA tile for one runtime geometry, counting misses."""
+        key = tile_key(cfg)
+        tile = self.tiles.get(key)
+        if tile is not None:
+            self.cache_stats.hits += 1
+            return tile
+        tile = self.resolved.get(key)
+        if tile is not None:
+            self.cache_stats.near_hits += 1
+            return tile
+        near = nearest_tile_key(key, self.tiles)
+        if near is not None:
+            tile = self.tiles[near]
+            self.resolved[key] = tile
+            self.cache_stats.near_hits += 1
+            logger.info("tile cache near-hit: geometry %s served with tile "
+                        "%s tuned for %s", key, tile, near)
+            return tile
+        self.cache_stats.misses += 1
+        if self.tiles and key not in self._warned:
+            self._warned.add(key)
+            logger.warning("tile cache miss: no tuned tile for geometry %s "
+                           "(have %d tuned entries); falling back to the "
+                           "untuned default %s", key, len(self.tiles),
+                           self.default_tile)
+        return self.default_tile
 
     def execute(self, layer: DeformConv2d, x: Tensor,
                 offsets: Tensor) -> Tensor:
@@ -51,7 +107,7 @@ class TextureRuntime:
             stride=layer.stride, padding=layer.padding,
             dilation=layer.dilation,
             deformable_groups=layer.deformable_groups, batch=n)
-        tile = self.tiles.get((c, h, w, layer.stride), self.default_tile)
+        tile = self.lookup_tile(cfg)
         bias = layer.bias.data if layer.bias is not None else None
         res = run_deform_op(self.backend, x.data.astype(np.float32),
                             offsets.data.astype(np.float32),
@@ -63,15 +119,29 @@ class TextureRuntime:
 
 
 class DefconEngine:
-    """Bind a model's deformable layers to a simulated kernel backend."""
+    """Bind a model's deformable layers to a simulated kernel backend.
+
+    ``tile_store`` (a :class:`repro.autotune.store.TileStore`) makes the
+    autotuned tiles a persistent deployment artifact: a warm start against a
+    populated store binds every tile with **zero** tuner objective
+    evaluations, and fresh tuning results are written back for the next
+    engine.  ``tune_evaluations`` records how much tuning work construction
+    actually performed, so warm starts are verifiable.
+    """
 
     def __init__(self, model: Module, spec: DeviceSpec,
                  backend: str = "tex2dpp", autotune: bool = False,
-                 tune_budget: int = 10, seed: int = 0):
+                 tune_budget: int = 10, seed: int = 0,
+                 tile_store: Optional[object] = None):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}")
         self.model = model
         self.spec = spec
         self.backend = backend
         self.log = ProfileLog()
+        self.tile_store = tile_store
+        self.tune_evaluations = 0
         self._runtime = TextureRuntime(spec=spec, backend=backend,
                                        log=self.log)
         self._layers = [m for m in model.modules()
@@ -81,28 +151,48 @@ class DefconEngine:
 
     # ------------------------------------------------------------------
     def _autotune_tiles(self, budget: int, seed: int) -> None:
-        """Tune one tile per distinct layer geometry (offline, Fig. 8)."""
+        """Tune one tile per distinct layer geometry (offline, Fig. 8).
+
+        With a backing store, geometries already tuned for this device and
+        backend load straight from disk — the tuner objective is never
+        evaluated for them.
+        """
         tuner = TileTuner(self.spec, backend=self.backend, budget=budget,
-                          seed=seed)
-        input_size = getattr(self.model, "input_size", None)
+                          seed=seed, store=self.tile_store)
         backbone = getattr(self.model, "backbone", None)
-        if backbone is None or input_size is None:
+        if backbone is None:
+            return
+        input_size = getattr(self.model, "input_size",
+                             getattr(backbone, "input_size", None))
+        if input_size is None:
             return
         for spec_site, mod in backbone.candidate_sites():
             if not isinstance(mod, DeformConv2d):
                 continue
             cfg = spec_site.layer_config()
-            key = (cfg.in_channels, cfg.height, cfg.width, cfg.stride)
+            key = tile_key(cfg)
             if key not in self._runtime.tiles:
-                self._runtime.tiles[key] = tuner.best_tile(cfg)
+                try:
+                    self._runtime.tiles[key] = tuner.best_tile(cfg)
+                except ValueError as exc:
+                    # e.g. the output plane is too small for any legal CTA
+                    # tile — the site runs DEFAULT_TILE and counts as a miss
+                    logger.warning("autotune skipped %s: %s",
+                                   cfg.label(), exc)
+        self.tune_evaluations = tuner.objective_evaluations
 
     @property
     def num_deformable_layers(self) -> int:
         return len(self._layers)
 
     @property
-    def tiles(self) -> Dict[Tuple[int, ...], Tuple[int, int]]:
+    def tiles(self) -> Dict[TileKey, Tuple[int, int]]:
         return dict(self._runtime.tiles)
+
+    @property
+    def tile_cache_stats(self) -> TileCacheStats:
+        """Hit/near-hit/miss counters of the runtime tile lookup."""
+        return self._runtime.cache_stats
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "DefconEngine":

@@ -1,0 +1,13 @@
+"""Batched serving layer over :class:`~repro.pipeline.engine.DefconEngine`.
+
+The deployment stack of the reproduction: a persistent tile store
+(:mod:`repro.autotune.store`) warms the engine with offline-tuned tiles,
+the :class:`RequestBatcher` coalesces single-image requests into batched
+engine calls, and :class:`ServingMetrics` makes queueing, batching and
+per-stage latency observable.  See ``docs/serving.md``.
+"""
+
+from repro.serve.batcher import RequestBatcher
+from repro.serve.metrics import ServingMetrics
+
+__all__ = ["RequestBatcher", "ServingMetrics"]

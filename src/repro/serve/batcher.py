@@ -1,0 +1,247 @@
+"""Dynamic request batching for :class:`~repro.pipeline.engine.DefconEngine`.
+
+Individual images arrive one at a time (a detection request per camera
+frame, a classification request per upload); the simulated GPU — like the
+real one — amortises its fixed per-launch overhead over the batch
+dimension, so serving them one by one wastes most of the device.  The
+batcher coalesces requests into batched ``detect`` / ``classify`` calls:
+
+* a batch closes when it reaches ``max_batch_size`` **or** when the oldest
+  request in it has waited ``max_wait_s`` (the classic size-or-deadline
+  policy);
+* only same-shaped images share a batch (they must stack into one tensor);
+  a shape change closes the current batch and starts the next;
+* every request gets a :class:`concurrent.futures.Future`, so callers can
+  block, poll, or fan out; engine failures propagate to exactly the
+  futures of the failed batch.
+
+The batching core is synchronous and deterministic — ``flush()`` drains the
+queue on the caller's thread, which is what the tests and throughput bench
+use.  ``start()`` adds a daemon worker thread for live serving, where the
+``max_wait_s`` deadline actually matters.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.serve.metrics import ServingMetrics
+
+
+@dataclass
+class _Request:
+    """One submitted image and its promise."""
+
+    id: int
+    image: np.ndarray                 # (C, H, W)
+    future: Future = field(default_factory=Future)
+    submit_t: float = 0.0
+
+
+class RequestBatcher:
+    """Coalesce single-image requests into batched engine calls.
+
+    Parameters
+    ----------
+    engine:
+        Anything with ``classify(images)`` (``task='classify'``) or
+        ``detect(images, **kwargs)`` (``task='detect'``) over an
+        (N, C, H, W) array, plus — optionally — a ``log.total_ms`` for
+        simulated-latency accounting (``DefconEngine`` has all three).
+    task:
+        'classify' → each future resolves to that image's predicted label;
+        'detect'  → each future resolves to the list of
+        :class:`~repro.data.coco_map.Detection` for that image, with
+        ``image_id`` rewritten to the request id.
+    max_batch_size / max_wait_s:
+        The size-or-deadline batching policy.
+    """
+
+    def __init__(self, engine, task: str = "classify",
+                 max_batch_size: int = 8, max_wait_s: float = 0.02,
+                 metrics: Optional[ServingMetrics] = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 **task_kwargs):
+        if task not in ("classify", "detect"):
+            raise ValueError(f"unknown task {task!r}; "
+                             "choose from ('classify', 'detect')")
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        self.engine = engine
+        self.task = task
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+        self.metrics = metrics if metrics is not None else ServingMetrics()
+        self.task_kwargs = task_kwargs
+        self._clock = clock
+        self._pending: deque = deque()
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._next_id = 0
+        self._worker: Optional[threading.Thread] = None
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, image: np.ndarray) -> Future:
+        """Enqueue one (C, H, W) image; returns the result future."""
+        image = np.asarray(image, dtype=np.float32)
+        if image.ndim != 3:
+            raise ValueError(
+                f"submit() takes one (C, H, W) image, got shape "
+                f"{image.shape}; batching is the batcher's job")
+        with self._lock:
+            if self._stopping:
+                raise RuntimeError("batcher is closed")
+            req = _Request(id=self._next_id, image=image,
+                           submit_t=self._clock())
+            self._next_id += 1
+            self._pending.append(req)
+            self.metrics.record_submit()
+            self._wakeup.notify()
+        return req.future
+
+    def submit_many(self, images: Sequence[np.ndarray]) -> List[Future]:
+        return [self.submit(img) for img in images]
+
+    def serve_all(self, images: Sequence[np.ndarray]) -> List[object]:
+        """Submit everything, drain synchronously, return ordered results."""
+        futures = self.submit_many(images)
+        if self._worker is None:
+            self.flush()
+        return [f.result() for f in futures]
+
+    # ------------------------------------------------------------------
+    # batching core (synchronous, deterministic)
+    # ------------------------------------------------------------------
+    def _take_batch(self) -> List[_Request]:
+        """Pop the next batch: a same-shape run capped at max_batch_size."""
+        with self._lock:
+            if not self._pending:
+                return []
+            batch = [self._pending.popleft()]
+            shape = batch[0].image.shape
+            while (self._pending and len(batch) < self.max_batch_size
+                   and self._pending[0].image.shape == shape):
+                batch.append(self._pending.popleft())
+            return batch
+
+    def _serve_batch(self, batch: List[_Request]) -> None:
+        images = np.stack([r.image for r in batch])
+        t0 = self._clock()
+        waits = [t0 - r.submit_t for r in batch]
+        sim0 = self._engine_sim_ms()
+        try:
+            if self.task == "classify":
+                labels = self.engine.classify(images)
+                results = [labels[i] for i in range(len(batch))]
+            else:
+                dets = self.engine.detect(images, **self.task_kwargs)
+                results = self._split_detections(dets, batch)
+        except BaseException as exc:   # propagate to exactly this batch
+            for r in batch:
+                r.future.set_exception(exc)
+            self.metrics.record_batch(len(batch), waits,
+                                      self._clock() - t0, 0.0)
+            return
+        sim_ms = self._engine_sim_ms() - sim0
+        self.metrics.record_batch(len(batch), waits, self._clock() - t0,
+                                  sim_ms)
+        for r, res in zip(batch, results):
+            r.future.set_result(res)
+
+    def _engine_sim_ms(self) -> float:
+        log = getattr(self.engine, "log", None)
+        return float(log.total_ms) if log is not None else 0.0
+
+    @staticmethod
+    def _split_detections(dets, batch: List[_Request]) -> List[list]:
+        """Group a batched detect()'s flat list back per request."""
+        from dataclasses import replace
+
+        per_image: List[list] = [[] for _ in batch]
+        for det in dets:
+            idx = int(det.image_id)
+            per_image[idx].append(replace(det, image_id=batch[idx].id))
+        return per_image
+
+    def flush(self) -> int:
+        """Serve every pending request now (caller's thread); returns the
+        number of requests served."""
+        served = 0
+        while True:
+            batch = self._take_batch()
+            if not batch:
+                return served
+            self._serve_batch(batch)
+            served += len(batch)
+
+    # ------------------------------------------------------------------
+    # threaded front-end
+    # ------------------------------------------------------------------
+    def start(self) -> "RequestBatcher":
+        """Run a daemon worker that applies the size-or-deadline policy."""
+        if self._worker is not None:
+            return self
+        self._stopping = False
+        self._worker = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-serve-batcher")
+        self._worker.start()
+        return self
+
+    def _run(self) -> None:
+        while True:
+            with self._lock:
+                while not self._pending and not self._stopping:
+                    self._wakeup.wait(timeout=0.05)
+                if self._stopping and not self._pending:
+                    return
+                oldest = self._pending[0].submit_t
+            # Coalesce: wait until the batch is full or the oldest request's
+            # deadline passes (closing immediately when told to stop).
+            deadline = oldest + self.max_wait_s
+            while not self._stopping:
+                with self._lock:
+                    full = len(self._pending) >= self.max_batch_size
+                if full or self._clock() >= deadline:
+                    break
+                time.sleep(min(0.001, max(0.0, deadline - self._clock())))
+            batch = self._take_batch()
+            if batch:
+                self._serve_batch(batch)
+
+    def close(self, flush: bool = True) -> None:
+        """Stop the worker; by default serve whatever is still queued."""
+        worker = self._worker
+        with self._lock:
+            self._stopping = True
+            self._wakeup.notify_all()
+        if worker is not None:
+            worker.join(timeout=5.0)
+            self._worker = None
+        if flush:
+            self.flush()
+        else:
+            while True:
+                batch = self._take_batch()
+                if not batch:
+                    break
+                for r in batch:
+                    r.future.set_exception(
+                        RuntimeError("batcher closed before serving"))
+
+    def __enter__(self) -> "RequestBatcher":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,137 @@
+"""Per-request serving metrics: queue depth, batching, stage latencies.
+
+The batcher records three stages for every served batch:
+
+* **queue wait** — wall time between a request's submission and the start
+  of its batch's inference (includes the deliberate coalescing wait);
+* **inference wall time** — host-side time spent inside the engine call;
+* **simulated GPU time** — the engine's :class:`ProfileLog` delta for the
+  batch, i.e. the deformable kernel milliseconds the GPU model charged.
+
+Everything is thread-safe; ``snapshot()`` returns plain numbers so the CLI
+and benches can print or assert without touching internals.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+def _percentile(values: List[float], q: float) -> float:
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+class ServingMetrics:
+    """Thread-safe counters for one :class:`~repro.serve.RequestBatcher`."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.queue_depth = 0
+        self.peak_queue_depth = 0
+        self.requests_submitted = 0
+        self.requests_completed = 0
+        self.batch_sizes: Counter = Counter()
+        self.queue_wait_s: List[float] = []
+        self.infer_wall_s: List[float] = []
+        self.sim_ms_per_batch: List[float] = []
+
+    # ------------------------------------------------------------------
+    # recording hooks (called by the batcher)
+    # ------------------------------------------------------------------
+    def record_submit(self) -> None:
+        with self._lock:
+            self.requests_submitted += 1
+            self.queue_depth += 1
+            self.peak_queue_depth = max(self.peak_queue_depth,
+                                        self.queue_depth)
+
+    def record_batch(self, size: int, queue_waits_s: List[float],
+                     infer_wall_s: float, sim_ms: float) -> None:
+        with self._lock:
+            self.requests_completed += size
+            self.queue_depth -= size
+            self.batch_sizes[size] += 1
+            self.queue_wait_s.extend(queue_waits_s)
+            self.infer_wall_s.append(infer_wall_s)
+            self.sim_ms_per_batch.append(sim_ms)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    @property
+    def num_batches(self) -> int:
+        with self._lock:
+            return sum(self.batch_sizes.values())
+
+    @property
+    def mean_batch_size(self) -> float:
+        with self._lock:
+            total = sum(s * n for s, n in self.batch_sizes.items())
+            count = sum(self.batch_sizes.values())
+        return total / count if count else 0.0
+
+    @property
+    def sim_ms_per_image(self) -> float:
+        """Simulated deformable milliseconds per served image."""
+        with self._lock:
+            done = self.requests_completed
+            sim = sum(self.sim_ms_per_batch)
+        return sim / done if done else 0.0
+
+    def batch_size_histogram(self) -> Dict[int, int]:
+        with self._lock:
+            return dict(sorted(self.batch_sizes.items()))
+
+    def snapshot(self) -> dict:
+        """A flat, JSON-friendly view of everything recorded so far."""
+        with self._lock:
+            waits = list(self.queue_wait_s)
+            infer = list(self.infer_wall_s)
+            sim = list(self.sim_ms_per_batch)
+            hist = dict(sorted(self.batch_sizes.items()))
+            submitted = self.requests_submitted
+            completed = self.requests_completed
+            depth = self.queue_depth
+            peak = self.peak_queue_depth
+        batches = sum(hist.values())
+        return {
+            "requests_submitted": submitted,
+            "requests_completed": completed,
+            "queue_depth": depth,
+            "peak_queue_depth": peak,
+            "batches": batches,
+            "batch_size_histogram": hist,
+            "mean_batch_size": (completed / batches) if batches else 0.0,
+            "queue_wait_ms_mean": 1e3 * float(np.mean(waits)) if waits else 0.0,
+            "queue_wait_ms_p95": 1e3 * _percentile(waits, 95),
+            "infer_wall_ms_mean": (1e3 * float(np.mean(infer))
+                                   if infer else 0.0),
+            "sim_ms_total": float(sum(sim)),
+            "sim_ms_per_image": (float(sum(sim)) / completed
+                                 if completed else 0.0),
+        }
+
+    def summary(self, nvprof_rows: Optional[List[dict]] = None) -> str:
+        """Human-readable report (optionally with the engine's nvprof table)."""
+        from repro.pipeline.reporting import format_table
+
+        snap = self.snapshot()
+        rows = [[k, (f"{v:.4f}" if isinstance(v, float) else str(v))]
+                for k, v in snap.items() if k != "batch_size_histogram"]
+        hist = snap["batch_size_histogram"]
+        rows.append(["batch_size_histogram",
+                     " ".join(f"{s}:{n}" for s, n in hist.items()) or "-"])
+        text = format_table(["metric", "value"], rows,
+                            title="Serving metrics")
+        if nvprof_rows:
+            keys = list(nvprof_rows[0])
+            text += "\n" + format_table(
+                keys, [[r[k] for k in keys] for r in nvprof_rows],
+                title="Engine nvprof counters")
+        return text

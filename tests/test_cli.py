@@ -64,3 +64,43 @@ class TestCommands:
     def test_unknown_device_errors(self):
         with pytest.raises(KeyError):
             main(["layers", "--device", "tpu"])
+
+
+class TestServeAndTiles:
+    def test_tune_with_store_then_warm(self, tmp_path, capsys):
+        store = str(tmp_path / "tiles.json")
+        assert main(["tune", "--layer", "16,16,24,24", "--budget", "4",
+                     "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["tune", "--layer", "16,16,24,24", "--budget", "4",
+                     "--store", store]) == 0
+        assert "from tile store" in capsys.readouterr().out
+
+    def test_tiles_show_export_import(self, tmp_path, capsys):
+        store = str(tmp_path / "tiles.json")
+        main(["tune", "--layer", "16,16,24,24", "--budget", "4",
+              "--store", store])
+        capsys.readouterr()
+        assert main(["tiles", "show", "--store", store]) == 0
+        assert "c16x16_h24w24" in capsys.readouterr().out
+
+        dump = str(tmp_path / "dump.json")
+        assert main(["tiles", "export", "--store", store, "--out", dump]) == 0
+        other = str(tmp_path / "other.json")
+        capsys.readouterr()
+        assert main(["tiles", "import", "--store", other, dump]) == 0
+        assert "imported 1 entries" in capsys.readouterr().out
+
+    def test_serve_classify_reports_batching(self, tmp_path, capsys):
+        store = str(tmp_path / "tiles.json")
+        assert main(["serve", "--requests", "4", "--max-batch", "2",
+                     "--tune-budget", "3", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "Serving metrics" in out
+        assert "tile cache:" in out
+        assert "sequential" in out and "batched" in out
+        # warm second run: tiles load from the store, no tuning
+        capsys.readouterr()
+        assert main(["serve", "--requests", "2", "--max-batch", "2",
+                     "--tune-budget", "3", "--store", store]) == 0
+        assert "warm start" in capsys.readouterr().out

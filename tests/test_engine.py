@@ -55,6 +55,75 @@ class TestEngineBasics:
             assert ty * tx <= XAVIER.max_threads_per_block
 
 
+class TestTileCacheKeyUnification:
+    """Regression: runtime lookups must see the tuned tiles (ISSUE 1)."""
+
+    @pytest.fixture(scope="class")
+    def tuned_engine(self):
+        model = build_classifier("r50s", placement=PLACEMENT, bound=7.0,
+                                 seed=0)
+        return DefconEngine(model, XAVIER, backend="tex2d", autotune=True,
+                            tune_budget=3)
+
+    def test_nominal_input_hits_every_lookup(self, tuned_engine):
+        xs = rng(2).uniform(0, 1, size=(2, 3, 64, 64)).astype(np.float32)
+        tuned_engine.classify(xs)
+        stats = tuned_engine.tile_cache_stats
+        assert stats.hits > 0
+        assert stats.misses == 0
+
+    def test_non_nominal_input_uses_tuned_tiles(self):
+        """Resized inputs must run with tuned tiles, not DEFAULT_TILE —
+        the silent fallback this PR fixes."""
+        model = build_classifier("r50s", placement=PLACEMENT, bound=7.0,
+                                 seed=0)
+        eng = DefconEngine(model, XAVIER, backend="tex2d", autotune=True,
+                           tune_budget=3)
+        xs = rng(3).uniform(0, 1, size=(1, 3, 48, 48)).astype(np.float32)
+        eng.classify(xs)
+        stats = eng.tile_cache_stats
+        assert stats.misses == 0, "non-nominal shapes fell back silently"
+        assert stats.near_hits > 0
+        # every substituted tile comes from the tuned set
+        tuned = set(eng.tiles.values())
+        assert set(eng._runtime.resolved.values()) <= tuned
+
+    def test_untuned_engine_counts_misses(self, yolact, images):
+        eng = DefconEngine(yolact, XAVIER, backend="tex2d")
+        eng.detect(images, score_threshold=0.05)
+        stats = eng.tile_cache_stats
+        assert stats.hits == 0 and stats.near_hits == 0
+        assert stats.misses == sum(PLACEMENT)
+
+    def test_bad_backend_rejected_at_construction(self, yolact):
+        with pytest.raises(ValueError, match="unknown backend 'cuda'"):
+            DefconEngine(yolact, XAVIER, backend="cuda")
+
+
+class TestTileStoreWarmStart:
+    def test_second_engine_performs_zero_tuner_evaluations(self, tmp_path):
+        from repro.autotune import TileStore
+
+        path = tmp_path / "tiles.json"
+        model = build_classifier("r50s", placement=PLACEMENT, bound=7.0,
+                                 seed=0)
+        cold = DefconEngine(model, XAVIER, backend="tex2d", autotune=True,
+                            tune_budget=3, tile_store=TileStore(path))
+        assert cold.tune_evaluations > 0
+        assert len(cold.tiles) == 3   # one per distinct site geometry
+
+        warm = DefconEngine(model, XAVIER, backend="tex2d", autotune=True,
+                            tune_budget=3, tile_store=TileStore(path))
+        assert warm.tune_evaluations == 0
+        assert warm.tiles == cold.tiles
+
+        # the warm engine also *uses* the tiles at a non-nominal size
+        xs = rng(4).uniform(0, 1, size=(1, 3, 48, 48)).astype(np.float32)
+        warm.classify(xs)
+        assert warm.tile_cache_stats.misses == 0
+        assert warm.tile_cache_stats.near_hits > 0
+
+
 class TestNumericalParity:
     def test_texture_detections_match_software(self, yolact, images):
         """The accuracy claim on a real trained stack: identical inputs

@@ -96,6 +96,29 @@ class TestProfileLog:
         b_row = next(r for r in rows if r["kernel"] == "b")
         assert b_row["tex_hit_rate_pct"] == pytest.approx(75.0)
 
+    def test_by_name_mutation_does_not_leak_into_records(self):
+        """Regression: the single-occurrence branch used to alias the live
+        record, so mutating the aggregate corrupted the log."""
+        log = self._log()
+        agg = log.by_name()
+        agg["b"].duration_ms = 999.0
+        agg["b"].tex_cache_hits = 0.0
+        assert log.records[1].duration_ms == pytest.approx(2.0)
+        assert log.records[1].tex_cache_hits == pytest.approx(30.0)
+        assert log.total_ms == pytest.approx(3.5)
+        # a fresh aggregation is untouched by the earlier mutation
+        assert log.by_name()["b"].duration_ms == pytest.approx(2.0)
+
+    def test_merged_name_invariant(self):
+        same = KernelStats(name="k").merged(KernelStats(name="k"))
+        assert same.name == "k"
+        one_sided = KernelStats(name="k").merged(KernelStats())
+        assert one_sided.name == "k"
+        adopted = KernelStats().merged(KernelStats(name="k"))
+        assert adopted.name == "k"
+        mixed = KernelStats(name="a").merged(KernelStats(name="b"))
+        assert mixed.name == "a+b"   # never masquerades as either kernel
+
 
 class TestCrossCuttingProperties:
     @given(sigma=st.floats(0.3, 4.0), seed=st.integers(0, 50))
