@@ -21,7 +21,7 @@ from repro.gpusim import XAVIER
 from repro.kernels import LayerConfig, run_deform_op, synth_offsets
 from repro.pipeline import format_table
 
-from common import run_once, write_result
+from common import run_once, write_bench_json, write_result
 
 CORRELATIONS = (0.0, 1.0, 2.0, 4.0, 8.0)
 CFG = LayerConfig(128, 128, 69, 69)
@@ -52,6 +52,11 @@ def regenerate():
               f"texture speedup ({CFG.label()}, Xavier)",
     )
     write_result("ablation_offset_irregularity", text)
+    write_bench_json(
+        "ablation_offset_irregularity",
+        {"rows": [{"correlation_px": c, "pytorch_gld_efficiency_pct": e,
+                   "tex2dpp_speedup": s} for c, e, s in data]},
+        device=XAVIER.name, layer=CFG.label())
     return data
 
 

@@ -15,7 +15,7 @@ from repro.gpusim import XAVIER
 from repro.kernels import LayerConfig, run_deform_op, synth_offsets
 from repro.pipeline import format_table
 
-from common import run_once, write_result
+from common import run_once, write_bench_json, write_result
 
 CACHE_KB = (4, 16, 32, 128)
 CFG = LayerConfig(128, 128, 69, 69)
@@ -47,6 +47,12 @@ def regenerate():
               "variants)",
     )
     write_result("ablation_texture_cache", text)
+    write_bench_json(
+        "ablation_texture_cache",
+        {"rows": [{"tex_cache_kb_per_sm": kb, "hit_rate_pct": h,
+                   "latency_ms": t, "autotuned_tile_pixels": p}
+                  for kb, h, t, p in data]},
+        device=XAVIER.name, layer=CFG.label())
     return data
 
 

@@ -15,7 +15,7 @@ from repro.gpusim import XAVIER
 from repro.kernels import TABLE2_LAYERS, run_layer_all_backends
 from repro.pipeline import format_table
 
-from common import run_once, write_result
+from common import run_once, write_bench_json, write_result
 
 
 def regenerate():
@@ -40,6 +40,17 @@ def regenerate():
               "(Xavier)",
     )
     write_result("fig10_nvprof_metrics", text)
+    write_bench_json(
+        "fig10_nvprof_metrics",
+        {"rows": [{"layer": label, "kernel": backend,
+                   "mflop": s.mflop,
+                   "gld_efficiency_pct": s.gld_efficiency,
+                   "gld_transactions_per_request":
+                       s.gld_transactions_per_request,
+                   "tex_cache_requests": s.tex_cache_requests,
+                   "tex_hit_rate_pct": s.tex_cache_hit_rate}
+                  for (label, backend), s in sorted(stats.items())]},
+        device=XAVIER.name)
     return stats
 
 

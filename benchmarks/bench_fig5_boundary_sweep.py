@@ -17,7 +17,7 @@ from repro.models import build_classifier
 from repro.pipeline import (TrainConfig, evaluate_classifier, format_table,
                             train_classifier)
 
-from common import run_once, write_result
+from common import run_once, write_bench_json, write_result
 
 BOUNDS = (3.0, 5.0, 7.0, 9.0, None)   # None = unbounded (paper's ∞)
 
@@ -43,6 +43,11 @@ def regenerate():
               "(classification proxy; paper picks P = 7)",
     )
     write_result("fig5_boundary_sweep", text)
+    write_bench_json(
+        "fig5_boundary_sweep",
+        {"accuracy_by_bound": {("inf" if b is None else str(b)): a
+                               for b, a in accs.items()}},
+        device=None, task="classification-proxy")
     return accs
 
 

@@ -18,7 +18,7 @@ from repro.pipeline import (AccuracyExperiment, DefconConfig,
                             ExperimentSettings, TrainConfig,
                             format_placement_diagram)
 
-from common import run_once, write_result
+from common import run_once, write_bench_json, write_result
 
 
 def regenerate():
@@ -57,6 +57,15 @@ def regenerate():
         f"{search.estimated_latency_ms:.1f} ms",
     ])
     write_result("fig6_placement", text)
+    write_bench_json(
+        "fig6_placement",
+        {"manual_num_dcn": int(sum(manual)),
+         "search_num_dcn": int(search.num_dcn),
+         "manual_accuracy": manual_row.accuracy,
+         "search_accuracy": ours_row.accuracy,
+         "manual_budget_ms": budget,
+         "selected_latency_ms": search.estimated_latency_ms},
+        device="xavier", arch="r101s")
     return manual, search, manual_row, ours_row, budget
 
 

@@ -11,7 +11,7 @@ from repro.gpusim import XAVIER
 from repro.kernels import TABLE2_LAYERS, run_layer_all_backends
 from repro.pipeline import format_speedup_bars
 
-from common import run_once, write_result
+from common import run_once, write_bench_json, write_result
 
 
 def regenerate():
@@ -32,6 +32,12 @@ def regenerate():
         f"tex2D++ {np.mean(s2dpp):.2f}x (paper 1.39x)",
     ])
     write_result("fig7_op_speedup", text)
+    write_bench_json(
+        "fig7_op_speedup",
+        {"layers": labels, "tex2d_speedup": s2d, "tex2dpp_speedup": s2dpp,
+         "tex2d_mean_speedup": float(np.mean(s2d)),
+         "tex2dpp_mean_speedup": float(np.mean(s2dpp))},
+        device="jetson-agx-xavier")
     return np.array(s2d), np.array(s2dpp)
 
 

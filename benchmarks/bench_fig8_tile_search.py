@@ -13,7 +13,7 @@ from repro.gpusim import XAVIER
 from repro.kernels import LayerConfig
 from repro.pipeline import format_table
 
-from common import run_once, write_result
+from common import run_once, write_bench_json, write_result
 
 SWEEP_LAYERS = (LayerConfig(128, 128, 69, 69), LayerConfig(256, 256, 35, 35))
 
@@ -44,6 +44,17 @@ def regenerate():
               "exhaustive sweep, BO = ytopt-style Bayesian optimisation",
     )
     write_result("fig8_tile_search", text)
+    write_bench_json(
+        "fig8_tile_search",
+        {"rows": [{"backend": backend, "layer": label,
+                   "oracle_ms": grid.best_value,
+                   "bayes_ms": bayes.best_value,
+                   "bayes_evaluations": bayes.evaluations,
+                   "random_ms": rand.best_value,
+                   "worst_over_best": worst / grid.best_value}
+                  for (backend, label), (grid, bayes, rand, worst)
+                  in sorted(summary.items())]},
+        device=XAVIER.name)
     return summary
 
 

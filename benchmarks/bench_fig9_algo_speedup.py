@@ -16,7 +16,7 @@ from repro.gpusim import XAVIER
 from repro.pipeline import (candidate_site_configs, deform_op_ms,
                             format_table, offset_head_ms)
 
-from common import run_once, write_result
+from common import run_once, write_bench_json, write_result
 
 #: one representative site per Table II shape family
 SITES = [candidate_site_configs("r101s")[i] for i in (0, 1, 3, 4, 11, 12)]
@@ -50,6 +50,10 @@ def regenerate():
               "over the interval-search baseline (Xavier)",
     )
     write_result("fig9_algo_speedup", text)
+    write_bench_json(
+        "fig9_algo_speedup",
+        {"latency_ms_by_layer": data},
+        device=XAVIER.name)
     return data
 
 

@@ -18,7 +18,7 @@ from repro.nas import manual_interval_placement
 from repro.pipeline import DefconEngine, format_table
 from repro.serve import RequestBatcher
 
-from common import run_once, write_result
+from common import run_once, write_bench_json, write_result
 
 PLACEMENT = manual_interval_placement(9, 3)
 NUM_REQUESTS = 8
@@ -56,6 +56,12 @@ def regenerate():
         title=f"Batched vs sequential serving — {NUM_REQUESTS} classify "
               "requests on jetson-agx-xavier (tex2D++)")
     write_result("serving_throughput", text)
+    write_bench_json(
+        "serving_throughput",
+        {"sequential_ms_per_image": seq_ms,
+         "batched_ms_per_image": {str(k): v for k, v in batched_ms.items()},
+         "num_requests": NUM_REQUESTS},
+        device=XAVIER.name, backend="tex2dpp")
     return seq_ms, batched_ms
 
 

@@ -24,7 +24,7 @@ from repro.nas.search import SearchConfig
 from repro.pipeline import (AccuracyExperiment, DefconConfig,
                             ExperimentSettings, TrainConfig, format_table)
 
-from common import run_once, write_result
+from common import run_once, write_bench_json, write_result
 
 
 def run_arch(arch: str):
@@ -71,6 +71,12 @@ def regenerate():
               "(classification protocol; paper reports COCO mask mAP)",
     )
     write_result("table1_accuracy", text)
+    write_bench_json(
+        "table1_accuracy",
+        {"rows": [{"method": r.method, "backbone": arch,
+                   "num_dcn": r.num_dcn, "accuracy": r.accuracy}
+                  for arch, rows in all_rows.items() for r in rows]},
+        device=None, task="classification-proxy")
     return all_rows
 
 

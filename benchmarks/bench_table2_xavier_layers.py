@@ -13,7 +13,7 @@ from repro.gpusim import XAVIER
 from repro.kernels import TABLE2_LAYERS, run_layer_all_backends
 from repro.pipeline import format_table
 
-from common import run_once, write_result
+from common import run_once, write_bench_json, write_result
 
 
 def regenerate(spec=XAVIER, name="table2_xavier_layers"):
@@ -35,6 +35,13 @@ def regenerate(spec=XAVIER, name="table2_xavier_layers"):
               f"{spec.name}",
     )
     write_result(name, text)
+    write_bench_json(
+        name,
+        {"rows": [{"layer": f"{cin}x{cout}x{h}x{w}",
+                   "pytorch_ms": bl, "tex2d_ms": t2, "tex2dpp_ms": tp,
+                   "speedup": float(sp[:-1])}
+                  for cin, cout, h, w, bl, t2, tp, sp in rows]},
+        device=spec.name)
     return rows
 
 

@@ -27,7 +27,7 @@ from repro.pipeline import (AccuracyExperiment, DefconConfig,
                             network_latency_ms, paper_scale_geometry)
 from repro.nas.search import SearchConfig
 
-from common import run_once, write_result
+from common import run_once, write_bench_json, write_result
 
 FAST = bool(int(os.environ.get("REPRO_FAST", "0")))
 
@@ -107,6 +107,15 @@ def regenerate():
                   "classification protocol, scaled r50s models",
         )
     write_result("table3_end_to_end", text)
+    metrics = {"latency_rows": [
+        {"method": label, "num_dcn": int(n), "latency_ms": t, "speedup": sp}
+        for label, n, t, sp in srows]}
+    if acc is not None:
+        metrics["accuracy_rows"] = [
+            {"method": r.method, "num_dcn": r.num_dcn,
+             "accuracy": r.accuracy} for r in acc]
+    write_bench_json("table3_end_to_end", metrics,
+                     device=XAVIER.name, arch="r101s")
     return srows, acc
 
 

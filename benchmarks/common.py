@@ -4,7 +4,11 @@ Every bench regenerates one table or figure of the paper and:
 
 * prints the paper-style table/bars to stdout (visible with ``pytest -s``),
 * writes it to ``results/<name>.txt`` so EXPERIMENTS.md can reference the
-  exact output of the last run.
+  exact output of the last run,
+* writes a machine-readable ``results/BENCH_<name>.json`` (metrics +
+  device + git revision) via :func:`write_bench_json`, so the perf
+  trajectory across PRs can be tracked by tooling instead of by eyeballing
+  tables.
 
 Heavy experiments (anything that trains a model) run once via
 ``benchmark.pedantic(..., rounds=1)`` — the timing numbers then reflect one
@@ -13,10 +17,16 @@ full regeneration of the experiment.
 
 from __future__ import annotations
 
+import json
+import subprocess
 import sys
 from pathlib import Path
+from typing import Optional
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: bump when the BENCH_*.json envelope changes shape
+BENCH_SCHEMA_VERSION = 1
 
 
 def write_result(name: str, text: str) -> None:
@@ -25,6 +35,51 @@ def write_result(name: str, text: str) -> None:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n{text}\n[saved to {path}]", file=sys.stderr)
+
+
+def _git_rev() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent, capture_output=True,
+            text=True, timeout=10)
+        return out.stdout.strip() or None if out.returncode == 0 else None
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def write_bench_json(name: str, metrics: dict,
+                     device: Optional[str] = None, **extra) -> Path:
+    """Persist one bench's numbers as ``results/BENCH_<name>.json``.
+
+    ``metrics`` must be JSON-serialisable (floats/ints/lists/dicts); numpy
+    scalars are coerced.  ``device`` is the simulated GPU preset name the
+    numbers were measured on; ``extra`` keys land next to it in the
+    envelope (e.g. ``backend=...``).
+    """
+
+    def _coerce(value):
+        if isinstance(value, dict):
+            return {str(k): _coerce(v) for k, v in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [_coerce(v) for v in value]
+        if hasattr(value, "item"):        # numpy scalar
+            return value.item()
+        return value
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "bench": name,
+        "device": device,
+        "git_rev": _git_rev(),
+        "metrics": _coerce(metrics),
+    }
+    payload.update({str(k): _coerce(v) for k, v in extra.items()})
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"[bench json saved to {path}]", file=sys.stderr)
+    return path
 
 
 def run_once(benchmark, fn):

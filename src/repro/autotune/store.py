@@ -67,13 +67,32 @@ class TileStore:
     """
 
     def __init__(self, path: Optional[Union[str, Path]] = None,
-                 tuner_version: int = TUNER_VERSION):
+                 tuner_version: int = TUNER_VERSION, registry=None):
         self.path = Path(path) if path is not None else None
         self.tuner_version = tuner_version
         #: raw JSON payloads, including stale-version entries (kept, unserved)
         self._entries: Dict[str, dict] = {}
+        self._lookup_counter = None
+        self._save_counter = None
+        if registry is not None:
+            self.bind_registry(registry)
         if self.path is not None:
             self.load()
+
+    def bind_registry(self, registry) -> "TileStore":
+        """Register the store's counters onto a shared MetricsRegistry
+        (``tile_store_lookups{result=hit|miss}``, ``tile_store_saves``)."""
+        if self._lookup_counter is None:
+            self._lookup_counter = registry.counter(
+                "tile_store_lookups",
+                help="persistent tile-store lookups by result")
+            self._save_counter = registry.counter(
+                "tile_store_saves", help="persistent tile-store writes")
+        return self
+
+    def _count_lookup(self, result: str) -> None:
+        if self._lookup_counter is not None:
+            self._lookup_counter.inc(result=result)
 
     # ------------------------------------------------------------------
     # persistence
@@ -146,18 +165,22 @@ class TileStore:
         raw = self._entries.get(entry_key(cfg, device, backend,
                                           self.tuner_version))
         if raw is None:
+            self._count_lookup("miss")
             return None
         try:
-            return TuneResult.from_dict(raw["result"]
-                                        if "result" in raw
-                                        else {"best_point": raw["tile"],
-                                              "best_value": raw.get(
-                                                  "best_ms", 0.0)})
+            result = TuneResult.from_dict(raw["result"]
+                                          if "result" in raw
+                                          else {"best_point": raw["tile"],
+                                                "best_value": raw.get(
+                                                    "best_ms", 0.0)})
         except (KeyError, TypeError, ValueError):
             logger.warning("tile store entry for %s/%s/%s is malformed; "
                            "treating as a miss",
                            geometry_key(cfg), device, backend)
+            self._count_lookup("miss")
             return None
+        self._count_lookup("hit")
+        return result
 
     def get_tile(self, cfg: LayerConfig, device: str,
                  backend: str) -> Optional[Tuple[int, int]]:
@@ -177,6 +200,8 @@ class TileStore:
             "evaluations": result.evaluations,
             "result": result.to_dict(),
         }
+        if self._save_counter is not None:
+            self._save_counter.inc()
         self.save()
 
     # ------------------------------------------------------------------

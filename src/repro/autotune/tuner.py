@@ -44,7 +44,7 @@ class TileTuner:
     def __init__(self, spec: DeviceSpec, backend: str = "tex2d",
                  budget: int = 16, seed: int = 0,
                  offset_sigma: float = 2.0, bound: Optional[float] = 7.0,
-                 store=None):
+                 store=None, registry=None):
         if backend not in ("tex2d", "tex2dpp"):
             raise ValueError("tile tuning applies to the texture backends")
         self.spec = spec
@@ -56,6 +56,19 @@ class TileTuner:
         self.store = store
         self.objective_evaluations = 0
         self._cache: Dict[TuneKey, TuneResult] = {}
+        # mirror tuning effort onto the shared metrics registry, and give
+        # the backing store a home for its own counters if it has none
+        self._eval_counter = None
+        self._warm_counter = None
+        if registry is not None:
+            self._eval_counter = registry.counter(
+                "autotune_objective_evaluations",
+                help="simulator calls made by the tile tuner")
+            self._warm_counter = registry.counter(
+                "autotune_store_warm_hits",
+                help="tunings satisfied from the tile store (zero evals)")
+            if store is not None:
+                store.bind_registry(registry)
 
     # ------------------------------------------------------------------
     def objective(self, cfg: LayerConfig):
@@ -69,6 +82,8 @@ class TileTuner:
 
         def latency(tile: Tuple[int, int]) -> float:
             self.objective_evaluations += 1
+            if self._eval_counter is not None:
+                self._eval_counter.inc(backend=self.backend)
             res = run_deform_op(self.backend, x, off, w, None, cfg,
                                 self.spec, tile=tuple(tile), plan=plan,
                                 compute_output=False)
@@ -92,6 +107,8 @@ class TileTuner:
         if self.store is not None:
             stored = self.store.get(cfg, self.spec.name, self.backend)
             if stored is not None:
+                if self._warm_counter is not None:
+                    self._warm_counter.inc(backend=self.backend)
                 self._cache[key] = stored
                 return stored
         space = self.space(cfg)

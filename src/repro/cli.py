@@ -10,8 +10,12 @@ user reaches for first:
 * ``latency-table`` — build (and optionally save) the NAS latency table;
 * ``profile``       — nvprof-style counters for one layer on all backends;
 * ``serve``         — batched serving demo: tile-store warm start, request
-  batching, per-stage metrics, batched-vs-sequential latency;
-* ``tiles``         — inspect / export / import the persistent tile store.
+  batching, per-stage metrics, batched-vs-sequential latency (``--trace``
+  exports a Chrome trace of the run);
+* ``tiles``         — inspect / export / import the persistent tile store;
+* ``trace``         — run a model preset under the span tracer and write
+  Perfetto-loadable ``trace.json`` + ``metrics.json`` plus the per-layer
+  latency table (paper Table II/IV style).
 """
 
 from __future__ import annotations
@@ -160,15 +164,31 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _build_task_model(arch: str, task: str, input_size: int, seed: int):
+    """Shared model construction for ``serve`` and ``trace``."""
+    from repro.models import build_classifier, build_yolact
+    from repro.nas import manual_interval_placement
+
+    placement = manual_interval_placement(9 if arch == "r50s" else 14, 3)
+    if task == "detect":
+        model = build_yolact(arch, input_size=input_size,
+                             placement=placement, bound=7.0, seed=seed)
+        task_kwargs = {"score_threshold": 0.05}
+    else:
+        model = build_classifier(arch, input_size=input_size,
+                                 placement=placement, bound=7.0, seed=seed)
+        task_kwargs = {}
+    return model, task_kwargs
+
+
 def cmd_serve(args) -> int:
     """``repro serve`` — batched serving demo with tile-store warm start."""
     import numpy as np
 
     from repro.autotune.store import TileStore
-    from repro.models import build_classifier, build_yolact
-    from repro.nas import manual_interval_placement
+    from repro.obs import MetricsRegistry, SpanTracer
     from repro.pipeline import DefconEngine
-    from repro.serve import RequestBatcher
+    from repro.serve import RequestBatcher, ServingMetrics
 
     if args.max_batch < 1 or args.requests < 1:
         import sys as _sys
@@ -176,22 +196,16 @@ def cmd_serve(args) -> int:
               file=_sys.stderr)
         return 1
     spec = get_device(args.device)
-    placement = manual_interval_placement(9 if args.arch == "r50s" else 14, 3)
-    if args.task == "detect":
-        model = build_yolact(args.arch, input_size=args.input_size,
-                             placement=placement, bound=7.0, seed=args.seed)
-        task_kwargs = {"score_threshold": 0.05}
-    else:
-        model = build_classifier(args.arch, input_size=args.input_size,
-                                 placement=placement, bound=7.0,
-                                 seed=args.seed)
-        task_kwargs = {}
+    model, task_kwargs = _build_task_model(args.arch, args.task,
+                                           args.input_size, args.seed)
     store = TileStore(args.store) if args.store else None
     autotune = args.autotune or store is not None
+    registry = MetricsRegistry()
+    tracer = SpanTracer() if args.trace else None
 
     engine = DefconEngine(model, spec, backend=args.backend,
                           autotune=autotune, tune_budget=args.tune_budget,
-                          tile_store=store)
+                          tile_store=store, registry=registry, tracer=tracer)
     if autotune:
         print(f"autotune: {len(engine.tiles)} tile(s) bound, "
               f"{engine.tune_evaluations} objective evaluation(s)"
@@ -203,7 +217,9 @@ def cmd_serve(args) -> int:
 
     batcher = RequestBatcher(engine, task=args.task,
                              max_batch_size=args.max_batch,
-                             max_wait_s=args.max_wait, **task_kwargs)
+                             max_wait_s=args.max_wait,
+                             metrics=ServingMetrics(registry=registry),
+                             tracer=tracer, **task_kwargs)
     batcher.serve_all(images)
     batched_ms = batcher.metrics.sim_ms_per_image
 
@@ -226,6 +242,68 @@ def cmd_serve(args) -> int:
     stats = engine.tile_cache_stats
     print(f"tile cache: {stats.hits} hits, {stats.near_hits} near-hits, "
           f"{stats.misses} misses")
+    if tracer is not None:
+        tracer.write(args.trace)
+        print(f"wrote Chrome trace to {args.trace} "
+              f"({tracer.num_events} events)")
+    if args.metrics_out:
+        registry.write(args.metrics_out)
+        print(f"wrote metrics registry to {args.metrics_out}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """``repro trace`` — trace a serving session, export trace + metrics."""
+    import numpy as np
+
+    from repro.autotune.store import TileStore
+    from repro.obs import MetricsRegistry, SpanTracer
+    from repro.pipeline import DefconEngine
+    from repro.serve import RequestBatcher, ServingMetrics
+
+    spec = get_device(args.device)
+    model, task_kwargs = _build_task_model(args.model, args.task,
+                                           args.input_size, args.seed)
+    store = TileStore(args.store) if args.store else None
+    registry = MetricsRegistry()
+    tracer = SpanTracer()
+
+    engine = DefconEngine(model, spec, backend=args.backend,
+                          autotune=args.autotune or store is not None,
+                          tune_budget=args.tune_budget, tile_store=store,
+                          registry=registry, tracer=tracer)
+    rng = np.random.default_rng(args.seed)
+    images = [rng.uniform(0, 1, size=(3, args.input_size, args.input_size)
+                          ).astype(np.float32) for _ in range(args.requests)]
+    batcher = RequestBatcher(engine, task=args.task,
+                             max_batch_size=args.max_batch,
+                             metrics=ServingMetrics(registry=registry),
+                             tracer=tracer, **task_kwargs)
+    with tracer.span("serve.session", cat="serve",
+                     requests=args.requests, model=args.model,
+                     backend=args.backend, device=spec.name):
+        batcher.serve_all(images)
+
+    tracer.write(args.out)
+    registry.write(args.metrics_out)
+
+    rows = engine.per_layer_rows()
+    if rows:
+        keys = list(rows[0])
+        print(format_table(keys,
+                           [[round(r[k], 4) if isinstance(r[k], float)
+                             else r[k] for k in keys] for r in rows],
+                           title=f"Per-layer deformable latency — "
+                                 f"{args.model}/{args.backend} on "
+                                 f"{spec.name}"))
+    total = engine.deformable_latency_ms()
+    print(f"\n{args.requests} request(s), {batcher.metrics.num_batches} "
+          f"batch(es); simulated deformable time {total:.4f} ms "
+          f"across {engine.log.num_launches} kernel launches")
+    print(f"wrote Chrome trace to {args.out} ({tracer.num_events} events) "
+          f"and metrics to {args.metrics_out}")
+    if args.flame:
+        print("\n" + tracer.flame_summary())
     return 0
 
 
@@ -322,6 +400,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--autotune", action="store_true")
     p.add_argument("--tune-budget", type=int, default=6)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="also export a Chrome trace JSON of the run")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="also export the metrics registry as JSON")
+
+    p = sub.add_parser(
+        "trace", help="trace a serving session (Chrome trace + metrics)")
+    p.add_argument("--model", default="r50s",
+                   help="model preset (r50s/r101s)")
+    p.add_argument("--device", default="xavier")
+    p.add_argument("--task", default="classify",
+                   choices=["classify", "detect"])
+    p.add_argument("--backend", default="tex2dpp",
+                   choices=["pytorch", "tex2d", "tex2dpp"])
+    p.add_argument("--requests", type=int, default=4)
+    p.add_argument("--max-batch", type=int, default=2)
+    p.add_argument("--input-size", type=int, default=64)
+    p.add_argument("--autotune", action="store_true")
+    p.add_argument("--tune-budget", type=int, default=6)
+    p.add_argument("--store", default=None,
+                   help="tile-store path (implies autotune)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="trace.json",
+                   help="Chrome trace output path (Perfetto-loadable)")
+    p.add_argument("--metrics-out", default="metrics.json",
+                   help="metrics registry JSON output path")
+    p.add_argument("--flame", action="store_true",
+                   help="print the text flame summary")
 
     p = sub.add_parser("tiles", help="inspect/export/import the tile store")
     tiles_sub = p.add_subparsers(dest="action", required=True)
@@ -358,6 +464,7 @@ COMMANDS = {
     "profile": cmd_profile,
     "serve": cmd_serve,
     "tiles": cmd_tiles,
+    "trace": cmd_trace,
 }
 
 

@@ -85,6 +85,10 @@ class DeformConv2d(Module):
         #: set by :class:`repro.pipeline.engine.DefconEngine` to execute
         #: this layer through a simulated GPU kernel backend at inference
         self.texture_runtime = None
+        #: dotted module path within the owning model (e.g.
+        #: ``backbone.stages.1.0.conv2``), stamped by the engine so kernel
+        #: launches attribute to this layer in ProfileLog.by_layer()
+        self.layer_name = ""
 
     def forward(self, x):
         raw = self.offset_head(x)

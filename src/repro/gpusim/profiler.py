@@ -9,12 +9,38 @@
   offset/output streams);
 * ``tex_cache_requests`` / ``tex_cache_hit_rate`` → texture path utilisation
   (zero for the PyTorch baseline, which never touches the texture units).
+
+Every record also carries its **attribution**: which model layer launched
+it (``layer`` — a dotted module name threaded down from
+:class:`~repro.deform.layers.DeformConv2d` by the engine) and the layer
+geometry (``geometry`` — a ``LayerConfig.label()``).  ``by_layer()`` turns
+that into the paper's Table II/IV per-layer breakdown.
+
+:class:`ProfileLog` is safe under concurrent engine use and keeps memory
+bounded: when the live record window exceeds ``max_records``, the oldest
+half rolls over into exact per-(kernel, layer, geometry) aggregates —
+``total_ms``, ``by_name()`` and ``by_layer()`` stay exact forever, only
+the individual old records are no longer addressable.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, fields, replace
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: Fields that label a record rather than count something; ``merged()``
+#: reconciles them instead of summing.
+_LABEL_FIELDS = ("name", "layer", "geometry")
+
+
+def _merge_attribution(a: str, b: str) -> str:
+    """An aggregate only claims an attribution both operands agree on."""
+    if a == b or not b:
+        return a
+    if not a:
+        return b
+    return ""
 
 
 @dataclass
@@ -22,6 +48,10 @@ class KernelStats:
     """Counters for one simulated kernel launch."""
 
     name: str = ""
+    #: dotted model-layer name that launched this kernel ("" = unattributed)
+    layer: str = ""
+    #: geometry label of the launching layer (LayerConfig.label())
+    geometry: str = ""
     duration_ms: float = 0.0
     flop_count_sp: float = 0.0
     #: global load requests (one per warp-level load instruction)
@@ -67,6 +97,8 @@ class KernelStats:
         The result's ``name`` only claims a kernel identity when both
         operands agree (or one is unnamed): an aggregate of two *different*
         kernels is labelled with both, so it can never masquerade as either.
+        ``layer``/``geometry`` follow the stricter rule of dropping to ""
+        on disagreement — an aggregate spanning layers belongs to no layer.
         """
         if self.name == other.name or not other.name:
             name = self.name
@@ -74,26 +106,110 @@ class KernelStats:
             name = other.name
         else:
             name = f"{self.name}+{other.name}"
-        out = KernelStats(name=name)
+        out = KernelStats(
+            name=name,
+            layer=_merge_attribution(self.layer, other.layer),
+            geometry=_merge_attribution(self.geometry, other.geometry))
         for f in fields(KernelStats):
-            if f.name == "name":
+            if f.name in _LABEL_FIELDS:
                 continue
             setattr(out, f.name, getattr(self, f.name) + getattr(other, f.name))
         return out
 
 
 @dataclass
-class ProfileLog:
-    """Accumulates per-kernel stats across a model inference (nvprof trace)."""
+class _Aggregate:
+    """Rolled-over history for one (name, layer, geometry) triple."""
 
-    records: List[KernelStats] = field(default_factory=list)
+    stats: KernelStats
+    launches: int = 0
+
+
+class ProfileLog:
+    """Accumulates per-kernel stats across a model inference (nvprof trace).
+
+    Thread-safe; ``subscribe()`` registers listeners (e.g. a
+    :class:`~repro.obs.tracer.SpanTracer`) invoked once per added record.
+    ``max_records`` bounds the live window (None = unbounded); evicted
+    records are folded into exact aggregates, so totals never drift.
+    """
+
+    #: default live-window bound — generous for interactive runs, small
+    #: enough that a serving process holds steady-state memory
+    DEFAULT_MAX_RECORDS = 4096
+
+    def __init__(self, max_records: Optional[int] = DEFAULT_MAX_RECORDS):
+        if max_records is not None and max_records < 2:
+            raise ValueError("max_records must be >= 2 (or None)")
+        self.max_records = max_records
+        self.records: List[KernelStats] = []
+        self._lock = threading.RLock()
+        self._listeners: List[Callable[[KernelStats], None]] = []
+        self._evicted: Dict[Tuple[str, str, str], _Aggregate] = {}
+        self._evicted_ms = 0.0
+        self._evicted_count = 0
+
+    # ------------------------------------------------------------------
+    def subscribe(self, listener: Callable[[KernelStats], None]) -> None:
+        """Call ``listener(record)`` for every subsequently added record."""
+        with self._lock:
+            self._listeners.append(listener)
 
     def add(self, stats: KernelStats) -> None:
-        self.records.append(stats)
+        with self._lock:
+            self.records.append(stats)
+            if (self.max_records is not None
+                    and len(self.records) > self.max_records):
+                self._roll_over()
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(stats)
 
+    def _roll_over(self) -> None:
+        """Fold the oldest half of the live window into exact aggregates."""
+        keep_from = len(self.records) // 2
+        evicted, self.records = (self.records[:keep_from],
+                                 self.records[keep_from:])
+        for r in evicted:
+            key = (r.name, r.layer, r.geometry)
+            agg = self._evicted.get(key)
+            if agg is None:
+                self._evicted[key] = _Aggregate(stats=replace(r), launches=1)
+            else:
+                agg.stats = agg.stats.merged(r)
+                agg.launches += 1
+            self._evicted_ms += r.duration_ms
+            self._evicted_count += 1
+
+    # ------------------------------------------------------------------
     @property
     def total_ms(self) -> float:
-        return sum(r.duration_ms for r in self.records)
+        with self._lock:
+            return self._evicted_ms + sum(r.duration_ms for r in self.records)
+
+    @property
+    def num_launches(self) -> int:
+        """All launches ever added, including rolled-over ones."""
+        with self._lock:
+            return self._evicted_count + len(self.records)
+
+    def _grouped(self, key_fn) -> Dict[str, Tuple[KernelStats, int]]:
+        """Aggregate history + live records under ``key_fn(record)``."""
+        agg: Dict[str, Tuple[KernelStats, int]] = {}
+
+        def fold(key: str, stats: KernelStats, launches: int) -> None:
+            if key in agg:
+                prev, n = agg[key]
+                agg[key] = (prev.merged(stats), n + launches)
+            else:
+                agg[key] = (replace(stats), launches)
+
+        with self._lock:
+            for (name, layer, geometry), a in self._evicted.items():
+                fold(key_fn(a.stats), a.stats, a.launches)
+            for r in self.records:
+                fold(key_fn(r), r, 1)
+        return agg
 
     def by_name(self) -> Dict[str, KernelStats]:
         """Aggregate counters per kernel name.
@@ -102,13 +218,17 @@ class ProfileLog:
         names, which previously aliased the live record, so a caller
         mutating the aggregate silently corrupted the log.
         """
-        agg: Dict[str, KernelStats] = {}
-        for r in self.records:
-            if r.name in agg:
-                agg[r.name] = agg[r.name].merged(r)
-            else:
-                agg[r.name] = replace(r)
-        return agg
+        return {k: s for k, (s, _) in self._grouped(
+            lambda r: r.name).items()}
+
+    def by_layer(self) -> Dict[str, KernelStats]:
+        """Aggregate counters per model layer ("" = unattributed launches).
+
+        The values' ``duration_ms`` sum exactly to :attr:`total_ms` — this
+        is the paper's Table II/IV per-layer attribution.
+        """
+        return {k: s for k, (s, _) in self._grouped(
+            lambda r: r.layer).items()}
 
     def summary_rows(self) -> List[dict]:
         """nvprof-like table: one dict per kernel name."""
@@ -122,6 +242,31 @@ class ProfileLog:
                 "gld_transactions_per_request": round(
                     s.gld_transactions_per_request, 2),
                 "tex_requests": int(s.tex_cache_requests),
+                "tex_hit_rate_pct": round(s.tex_cache_hit_rate, 1),
+            })
+        return rows
+
+    def per_layer_rows(self) -> List[dict]:
+        """Paper-style Table II/IV rows: one dict per attributed layer.
+
+        Unattributed launches (records added outside an engine, or before
+        attribution existed) appear as a final ``(unattributed)`` row, so
+        the table always accounts for 100 % of ``total_ms``.
+        """
+        grouped = self._grouped(lambda r: r.layer)
+        total = sum(s.duration_ms for s, _ in grouped.values())
+        rows = []
+        for layer in sorted(grouped, key=lambda k: (k == "", k)):
+            s, launches = grouped[layer]
+            share = 100.0 * s.duration_ms / total if total else 0.0
+            rows.append({
+                "layer": layer or "(unattributed)",
+                "geometry": s.geometry or "-",
+                "launches": launches,
+                # unrounded: the column must sum exactly to ``total_ms``
+                "time_ms": s.duration_ms,
+                "share_pct": round(share, 1),
+                "mflop": round(s.mflop, 2),
                 "tex_hit_rate_pct": round(s.tex_cache_hit_rate, 1),
             })
         return rows

@@ -20,18 +20,33 @@ def run_deform_op(backend: str, x: np.ndarray, offset: np.ndarray,
                   cfg: LayerConfig, spec: DeviceSpec,
                   tile: Tuple[int, int] = DEFAULT_TILE,
                   plan: Optional[SamplePlan] = None,
-                  compute_output: bool = True) -> OpResult:
-    """Run one deformable conv through the selected backend."""
+                  compute_output: bool = True,
+                  layer: str = "") -> OpResult:
+    """Run one deformable conv through the selected backend.
+
+    ``layer`` attributes the launched kernels to a model layer (a dotted
+    module name): every :class:`~repro.gpusim.profiler.KernelStats` in the
+    result is stamped with it, plus the geometry label, so per-layer
+    profiling (``ProfileLog.by_layer``) works downstream.
+    """
     if backend == "pytorch":
-        return run_reference(x, offset, weight, bias, cfg, spec, plan=plan,
-                             compute_output=compute_output)
-    if backend == "tex2d":
-        return run_tex2d(x, offset, weight, bias, cfg, spec, tile=tile,
-                         plan=plan, compute_output=compute_output)
-    if backend == "tex2dpp":
-        return run_tex2dpp(x, offset, weight, bias, cfg, spec, tile=tile,
-                           plan=plan, compute_output=compute_output)
-    raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+        res = run_reference(x, offset, weight, bias, cfg, spec, plan=plan,
+                            compute_output=compute_output)
+    elif backend == "tex2d":
+        res = run_tex2d(x, offset, weight, bias, cfg, spec, tile=tile,
+                        plan=plan, compute_output=compute_output)
+    elif backend == "tex2dpp":
+        res = run_tex2dpp(x, offset, weight, bias, cfg, spec, tile=tile,
+                          plan=plan, compute_output=compute_output)
+    else:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {BACKENDS}")
+    for k in res.kernels:
+        if layer:
+            k.layer = layer
+        if not k.geometry:
+            k.geometry = cfg.label()
+    return res
 
 
 def run_layer_all_backends(cfg: LayerConfig, spec: DeviceSpec,

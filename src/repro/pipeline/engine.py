@@ -9,15 +9,23 @@ unit, so the engine simultaneously produces:
 * the model's actual detections (numerics go through 1.8 fixed-point
   hardware filtering — accuracy parity is observable, not assumed), and
 * an nvprof-style :class:`~repro.gpusim.profiler.ProfileLog` of every
-  deformable kernel launch, from which per-image deformable latency and
-  Fig. 10 counters fall out.
+  deformable kernel launch — each record attributed to the model layer
+  that launched it, so ``per_layer_rows()`` reproduces the paper's
+  Table II/IV per-layer breakdown for any model.
+
+Observability (docs/observability.md): pass a
+:class:`~repro.obs.registry.MetricsRegistry` to share one metrics home
+with the serving layer (the engine registers its tile-cache and autotune
+counters onto it), and a :class:`~repro.obs.tracer.SpanTracer` to stream
+every kernel launch onto the simulated-GPU trace timeline.
 """
 
 from __future__ import annotations
 
 import logging
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -30,12 +38,13 @@ from repro.kernels.dispatch import BACKENDS, run_deform_op
 from repro.kernels.tex2d import DEFAULT_TILE
 from repro.kernels.tiling import TileKey, nearest_tile_key, tile_key
 from repro.nn import Module
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import SpanTracer
 from repro.tensor import Tensor
 
 logger = logging.getLogger(__name__)
 
 
-@dataclass
 class TileCacheStats:
     """Observability for the tuned-tile lookup (nothing falls back silently).
 
@@ -45,15 +54,55 @@ class TileCacheStats:
       otherwise non-nominal inputs land here);
     * ``misses`` — nothing tuned is applicable and the untuned
       ``DEFAULT_TILE`` ran (each distinct geometry is also logged once).
+
+    Increments are lock-protected (the serving worker thread and the
+    caller's thread may both drive the engine) and mirrored onto a
+    :class:`~repro.obs.registry.MetricsRegistry` counter
+    (``engine_tile_cache_lookups{result=...}``) when one is bound.
     """
 
-    hits: int = 0
-    near_hits: int = 0
-    misses: int = 0
+    def __init__(self):
+        self.hits = 0
+        self.near_hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._counter = None
+
+    def bind_registry(self, registry: MetricsRegistry) -> "TileCacheStats":
+        with self._lock:
+            self._counter = registry.counter(
+                "engine_tile_cache_lookups",
+                help="runtime tile lookups by result (hit/near_hit/miss)")
+            # re-publish anything counted before binding
+            for result, n in (("hit", self.hits), ("near_hit", self.near_hits),
+                              ("miss", self.misses)):
+                if n:
+                    self._counter.inc(n, result=result)
+        return self
+
+    def _record(self, attr: str, result: str) -> None:
+        with self._lock:
+            setattr(self, attr, getattr(self, attr) + 1)
+            counter = self._counter
+        if counter is not None:
+            counter.inc(result=result)
+
+    def record_hit(self) -> None:
+        self._record("hits", "hit")
+
+    def record_near_hit(self) -> None:
+        self._record("near_hits", "near_hit")
+
+    def record_miss(self) -> None:
+        self._record("misses", "miss")
 
     @property
     def lookups(self) -> int:
         return self.hits + self.near_hits + self.misses
+
+    def __repr__(self) -> str:
+        return (f"TileCacheStats(hits={self.hits}, "
+                f"near_hits={self.near_hits}, misses={self.misses})")
 
 
 @dataclass
@@ -69,34 +118,37 @@ class TextureRuntime:
     #: near-hit resolutions memoised per runtime geometry
     resolved: Dict[TileKey, Tuple[int, int]] = field(default_factory=dict)
     _warned: Set[TileKey] = field(default_factory=set)
+    #: guards the mutable lookup caches under concurrent engine use
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def lookup_tile(self, cfg: LayerConfig) -> Tuple[int, int]:
         """Resolve the CTA tile for one runtime geometry, counting misses."""
         key = tile_key(cfg)
-        tile = self.tiles.get(key)
-        if tile is not None:
-            self.cache_stats.hits += 1
-            return tile
-        tile = self.resolved.get(key)
-        if tile is not None:
-            self.cache_stats.near_hits += 1
-            return tile
-        near = nearest_tile_key(key, self.tiles)
-        if near is not None:
-            tile = self.tiles[near]
-            self.resolved[key] = tile
-            self.cache_stats.near_hits += 1
-            logger.info("tile cache near-hit: geometry %s served with tile "
-                        "%s tuned for %s", key, tile, near)
-            return tile
-        self.cache_stats.misses += 1
-        if self.tiles and key not in self._warned:
-            self._warned.add(key)
-            logger.warning("tile cache miss: no tuned tile for geometry %s "
-                           "(have %d tuned entries); falling back to the "
-                           "untuned default %s", key, len(self.tiles),
-                           self.default_tile)
-        return self.default_tile
+        with self._lock:
+            tile = self.tiles.get(key)
+            if tile is not None:
+                self.cache_stats.record_hit()
+                return tile
+            tile = self.resolved.get(key)
+            if tile is not None:
+                self.cache_stats.record_near_hit()
+                return tile
+            near = nearest_tile_key(key, self.tiles)
+            if near is not None:
+                tile = self.tiles[near]
+                self.resolved[key] = tile
+                self.cache_stats.record_near_hit()
+                logger.info("tile cache near-hit: geometry %s served with "
+                            "tile %s tuned for %s", key, tile, near)
+                return tile
+            self.cache_stats.record_miss()
+            if self.tiles and key not in self._warned:
+                self._warned.add(key)
+                logger.warning("tile cache miss: no tuned tile for geometry "
+                               "%s (have %d tuned entries); falling back to "
+                               "the untuned default %s", key, len(self.tiles),
+                               self.default_tile)
+            return self.default_tile
 
     def execute(self, layer: DeformConv2d, x: Tensor,
                 offsets: Tensor) -> Tensor:
@@ -112,7 +164,8 @@ class TextureRuntime:
         res = run_deform_op(self.backend, x.data.astype(np.float32),
                             offsets.data.astype(np.float32),
                             layer.weight.data, bias, cfg, self.spec,
-                            tile=tile, compute_output=True)
+                            tile=tile, compute_output=True,
+                            layer=getattr(layer, "layer_name", ""))
         for k in res.kernels:
             self.log.add(k)
         return Tensor(res.output.astype(np.float32))
@@ -127,27 +180,52 @@ class DefconEngine:
     evaluations, and fresh tuning results are written back for the next
     engine.  ``tune_evaluations`` records how much tuning work construction
     actually performed, so warm starts are verifiable.
+
+    ``registry`` (optional) is the engine's metrics home — one is created
+    when not supplied; ``tracer`` (optional) streams every simulated kernel
+    launch onto the trace's simGPU timeline and wraps ``classify``/
+    ``detect`` calls in wall-time spans.
     """
 
     def __init__(self, model: Module, spec: DeviceSpec,
                  backend: str = "tex2dpp", autotune: bool = False,
                  tune_budget: int = 10, seed: int = 0,
-                 tile_store: Optional[object] = None):
+                 tile_store: Optional[object] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[SpanTracer] = None,
+                 max_log_records: Optional[int] = ProfileLog.DEFAULT_MAX_RECORDS):
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; choose from {BACKENDS}")
         self.model = model
         self.spec = spec
         self.backend = backend
-        self.log = ProfileLog()
+        self.log = ProfileLog(max_records=max_log_records)
         self.tile_store = tile_store
         self.tune_evaluations = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
         self._runtime = TextureRuntime(spec=spec, backend=backend,
                                        log=self.log)
+        self._runtime.cache_stats.bind_registry(self.registry)
         self._layers = [m for m in model.modules()
                         if isinstance(m, DeformConv2d)]
+        self._name_deformable_layers(model)
+        if tracer is not None:
+            tracer.attach(self.log)
         if autotune and backend in ("tex2d", "tex2dpp"):
             self._autotune_tiles(tune_budget, seed)
+
+    @staticmethod
+    def _name_deformable_layers(model: Module) -> None:
+        """Stamp each DeformConv2d with its dotted path inside ``model``.
+
+        Pre-existing names (e.g. from a previous engine over the same
+        model) are left alone, so attribution stays stable across engines.
+        """
+        for name, mod in model.named_modules():
+            if isinstance(mod, DeformConv2d) and not mod.layer_name:
+                mod.layer_name = name or type(mod).__name__
 
     # ------------------------------------------------------------------
     def _autotune_tiles(self, budget: int, seed: int) -> None:
@@ -158,7 +236,8 @@ class DefconEngine:
         evaluated for them.
         """
         tuner = TileTuner(self.spec, backend=self.backend, budget=budget,
-                          seed=seed, store=self.tile_store)
+                          seed=seed, store=self.tile_store,
+                          registry=self.registry)
         backbone = getattr(self.model, "backbone", None)
         if backbone is None:
             return
@@ -207,10 +286,20 @@ class DefconEngine:
     # ------------------------------------------------------------------
     def detect(self, images: np.ndarray, **kwargs):
         """Run detection with the deformable layers on the bound backend."""
+        if self.tracer is not None:
+            with self.tracer.span("engine.detect", cat="engine",
+                                  batch=int(np.asarray(images).shape[0])):
+                with self:
+                    return self.model.detect(images, **kwargs)
         with self:
             return self.model.detect(images, **kwargs)
 
     def classify(self, images: np.ndarray) -> np.ndarray:
+        if self.tracer is not None:
+            with self.tracer.span("engine.classify", cat="engine",
+                                  batch=int(np.asarray(images).shape[0])):
+                with self:
+                    return self.model.predict(images)
         with self:
             return self.model.predict(images)
 
@@ -220,3 +309,7 @@ class DefconEngine:
 
     def nvprof_rows(self):
         return self.log.summary_rows()
+
+    def per_layer_rows(self) -> List[dict]:
+        """Table II/IV-style per-layer latency breakdown (see ProfileLog)."""
+        return self.log.per_layer_rows()

@@ -4,7 +4,9 @@ The deployment stack of the reproduction: a persistent tile store
 (:mod:`repro.autotune.store`) warms the engine with offline-tuned tiles,
 the :class:`RequestBatcher` coalesces single-image requests into batched
 engine calls, and :class:`ServingMetrics` makes queueing, batching and
-per-stage latency observable.  See ``docs/serving.md``.
+per-stage latency observable on a shared
+:class:`~repro.obs.registry.MetricsRegistry` with bounded memory.  See
+``docs/serving.md`` and ``docs/observability.md``.
 """
 
 from repro.serve.batcher import RequestBatcher

@@ -68,7 +68,7 @@ class RequestBatcher:
                  max_batch_size: int = 8, max_wait_s: float = 0.02,
                  metrics: Optional[ServingMetrics] = None,
                  clock: Callable[[], float] = time.monotonic,
-                 **task_kwargs):
+                 tracer=None, **task_kwargs):
         if task not in ("classify", "detect"):
             raise ValueError(f"unknown task {task!r}; "
                              "choose from ('classify', 'detect')")
@@ -81,6 +81,10 @@ class RequestBatcher:
         self.max_batch_size = max_batch_size
         self.max_wait_s = max_wait_s
         self.metrics = metrics if metrics is not None else ServingMetrics()
+        #: optional repro.obs.SpanTracer — wraps every served batch in a
+        #: wall-time span (pass the same tracer to the engine to interleave
+        #: the simulated kernel spans underneath)
+        self.tracer = tracer
         self.task_kwargs = task_kwargs
         self._clock = clock
         self._pending: deque = deque()
@@ -137,6 +141,15 @@ class RequestBatcher:
             return batch
 
     def _serve_batch(self, batch: List[_Request]) -> None:
+        if self.tracer is not None:
+            with self.tracer.span("serve.batch", cat="serve",
+                                  size=len(batch),
+                                  first_request=batch[0].id):
+                self._serve_batch_inner(batch)
+        else:
+            self._serve_batch_inner(batch)
+
+    def _serve_batch_inner(self, batch: List[_Request]) -> None:
         images = np.stack([r.image for r in batch])
         t0 = self._clock()
         waits = [t0 - r.submit_t for r in batch]

@@ -8,112 +8,142 @@ The batcher records three stages for every served batch:
 * **simulated GPU time** — the engine's :class:`ProfileLog` delta for the
   batch, i.e. the deformable kernel milliseconds the GPU model charged.
 
-Everything is thread-safe; ``snapshot()`` returns plain numbers so the CLI
-and benches can print or assert without touching internals.
+Everything lives on a :class:`~repro.obs.registry.MetricsRegistry` —
+pass one in to share a metrics home with the engine (``repro trace``
+does), or let the constructor create a private one.  Stage latencies are
+:class:`~repro.obs.registry.Histogram` series backed by bounded
+reservoirs: **counts and sums stay exact forever** while per-observation
+memory is capped, so a serving process that handles millions of requests
+holds steady-state memory (this replaces the unbounded per-request lists
+that grew for the life of the process).
+
+``snapshot()`` returns plain numbers so the CLI and benches can print or
+assert without touching internals.
 """
 
 from __future__ import annotations
 
 import threading
-from collections import Counter
 from typing import Dict, List, Optional
 
-import numpy as np
-
-
-def _percentile(values: List[float], q: float) -> float:
-    if not values:
-        return 0.0
-    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+from repro.obs.registry import MetricsRegistry
 
 
 class ServingMetrics:
-    """Thread-safe counters for one :class:`~repro.serve.RequestBatcher`."""
+    """Metrics for one :class:`~repro.serve.RequestBatcher`.
 
-    def __init__(self):
+    ``reservoir_size`` caps the per-stage latency sample buffers (totals
+    and counts remain exact; percentiles become reservoir estimates once
+    the cap is exceeded).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 reservoir_size: int = 1024):
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._lock = threading.Lock()
-        self.queue_depth = 0
-        self.peak_queue_depth = 0
-        self.requests_submitted = 0
-        self.requests_completed = 0
-        self.batch_sizes: Counter = Counter()
-        self.queue_wait_s: List[float] = []
-        self.infer_wall_s: List[float] = []
-        self.sim_ms_per_batch: List[float] = []
+        r = self.registry
+        self._submitted = r.counter(
+            "serve_requests_submitted", help="requests accepted by submit()")
+        self._completed = r.counter(
+            "serve_requests_completed", help="requests whose batch ran")
+        self._depth = r.gauge(
+            "serve_queue_depth", help="requests currently queued")
+        self._peak_depth = r.gauge(
+            "serve_peak_queue_depth", help="high-water queue depth")
+        self._batches = r.counter(
+            "serve_batches", help="served batches, labeled by batch size")
+        self._queue_wait = r.histogram(
+            "serve_queue_wait_seconds", reservoir_size=reservoir_size,
+            help="submit-to-inference-start wall time per request")
+        self._infer_wall = r.histogram(
+            "serve_infer_wall_seconds", reservoir_size=reservoir_size,
+            help="host wall time inside the engine call per batch")
+        self._sim_ms = r.histogram(
+            "serve_sim_ms_per_batch", reservoir_size=reservoir_size,
+            help="simulated deformable GPU milliseconds per batch")
 
     # ------------------------------------------------------------------
     # recording hooks (called by the batcher)
     # ------------------------------------------------------------------
     def record_submit(self) -> None:
         with self._lock:
-            self.requests_submitted += 1
-            self.queue_depth += 1
-            self.peak_queue_depth = max(self.peak_queue_depth,
-                                        self.queue_depth)
+            self._submitted.inc()
+            self._depth.inc()
+            self._peak_depth.set_max(self._depth.value())
 
     def record_batch(self, size: int, queue_waits_s: List[float],
                      infer_wall_s: float, sim_ms: float) -> None:
         with self._lock:
-            self.requests_completed += size
-            self.queue_depth -= size
-            self.batch_sizes[size] += 1
-            self.queue_wait_s.extend(queue_waits_s)
-            self.infer_wall_s.append(infer_wall_s)
-            self.sim_ms_per_batch.append(sim_ms)
+            self._completed.inc(size)
+            self._depth.dec(size)
+            self._batches.inc(size=size)
+            for wait in queue_waits_s:
+                self._queue_wait.observe(wait)
+            self._infer_wall.observe(infer_wall_s)
+            self._sim_ms.observe(sim_ms)
 
     # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------
     @property
+    def requests_submitted(self) -> int:
+        return int(self._submitted.value())
+
+    @property
+    def requests_completed(self) -> int:
+        return int(self._completed.value())
+
+    @property
+    def queue_depth(self) -> int:
+        return int(self._depth.value())
+
+    @property
+    def peak_queue_depth(self) -> int:
+        return int(self._peak_depth.value())
+
+    @property
     def num_batches(self) -> int:
-        with self._lock:
-            return sum(self.batch_sizes.values())
+        return sum(self.batch_size_histogram().values())
 
     @property
     def mean_batch_size(self) -> float:
-        with self._lock:
-            total = sum(s * n for s, n in self.batch_sizes.items())
-            count = sum(self.batch_sizes.values())
+        hist = self.batch_size_histogram()
+        total = sum(s * n for s, n in hist.items())
+        count = sum(hist.values())
         return total / count if count else 0.0
 
     @property
     def sim_ms_per_image(self) -> float:
         """Simulated deformable milliseconds per served image."""
-        with self._lock:
-            done = self.requests_completed
-            sim = sum(self.sim_ms_per_batch)
-        return sim / done if done else 0.0
+        done = self.requests_completed
+        return self._sim_ms.sum() / done if done else 0.0
 
     def batch_size_histogram(self) -> Dict[int, int]:
-        with self._lock:
-            return dict(sorted(self.batch_sizes.items()))
+        hist = {int(labels["size"]): int(self._batches.value(**labels))
+                for labels in self._batches.label_sets()}
+        return dict(sorted(hist.items()))
 
     def snapshot(self) -> dict:
         """A flat, JSON-friendly view of everything recorded so far."""
-        with self._lock:
-            waits = list(self.queue_wait_s)
-            infer = list(self.infer_wall_s)
-            sim = list(self.sim_ms_per_batch)
-            hist = dict(sorted(self.batch_sizes.items()))
-            submitted = self.requests_submitted
-            completed = self.requests_completed
-            depth = self.queue_depth
-            peak = self.peak_queue_depth
+        hist = self.batch_size_histogram()
         batches = sum(hist.values())
+        completed = self.requests_completed
+        waits = self._queue_wait.reservoir()
+        infer = self._infer_wall.reservoir()
+        sim_total = self._sim_ms.sum()
         return {
-            "requests_submitted": submitted,
+            "requests_submitted": self.requests_submitted,
             "requests_completed": completed,
-            "queue_depth": depth,
-            "peak_queue_depth": peak,
+            "queue_depth": self.queue_depth,
+            "peak_queue_depth": self.peak_queue_depth,
             "batches": batches,
             "batch_size_histogram": hist,
             "mean_batch_size": (completed / batches) if batches else 0.0,
-            "queue_wait_ms_mean": 1e3 * float(np.mean(waits)) if waits else 0.0,
-            "queue_wait_ms_p95": 1e3 * _percentile(waits, 95),
-            "infer_wall_ms_mean": (1e3 * float(np.mean(infer))
-                                   if infer else 0.0),
-            "sim_ms_total": float(sum(sim)),
-            "sim_ms_per_image": (float(sum(sim)) / completed
+            "queue_wait_ms_mean": 1e3 * waits.mean,
+            "queue_wait_ms_p95": 1e3 * waits.percentile(95),
+            "infer_wall_ms_mean": 1e3 * infer.mean,
+            "sim_ms_total": float(sim_total),
+            "sim_ms_per_image": (float(sim_total) / completed
                                  if completed else 0.0),
         }
 

@@ -1,0 +1,272 @@
+"""Unit tests for the observability building blocks (repro.obs).
+
+Covers the bounded reservoir's exact-totals contract, the labeled metrics
+registry, and the span tracer's Chrome-trace export under a fake clock
+(deterministic, schema-valid output).
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.gpusim.profiler import KernelStats
+from repro.obs import (BoundedReservoir, Counter, Gauge, Histogram,
+                       MetricsRegistry, SpanTracer)
+from repro.obs.tracer import SIM_PID, WALL_PID
+
+
+# ----------------------------------------------------------------------
+# BoundedReservoir
+# ----------------------------------------------------------------------
+def test_reservoir_exact_totals_bounded_sample():
+    res = BoundedReservoir(capacity=32, seed=0)
+    values = list(range(1, 1001))
+    for v in values:
+        res.add(v)
+    # exact aggregates survive arbitrarily many observations
+    assert res.count == 1000
+    assert res.total == pytest.approx(sum(values))
+    assert res.min == 1.0 and res.max == 1000.0
+    assert res.mean == pytest.approx(np.mean(values))
+    # ... while the sample stays capped
+    assert len(res.values()) == 32
+    snap = res.snapshot()
+    assert snap["count"] == 1000 and snap["sample_size"] == 32
+    # reservoir percentiles are approximate but in-range
+    assert 1.0 <= snap["p50"] <= 1000.0
+
+
+def test_reservoir_deterministic_under_seed():
+    a, b = BoundedReservoir(8, seed=7), BoundedReservoir(8, seed=7)
+    for v in range(200):
+        a.add(v)
+        b.add(v)
+    assert a.values() == b.values()
+    assert a.percentile(95) == b.percentile(95)
+
+
+def test_reservoir_small_counts_are_exact():
+    res = BoundedReservoir(capacity=100, seed=0)
+    for v in (3.0, 1.0, 2.0):
+        res.add(v)
+    assert res.values() == [3.0, 1.0, 2.0]
+    assert res.percentile(50) == pytest.approx(2.0)
+
+
+def test_reservoir_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        BoundedReservoir(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+def test_counter_labels_and_monotonicity():
+    c = Counter("requests")
+    c.inc()
+    c.inc(2, backend="tex2d")
+    c.inc(3, backend="tex2d")
+    assert c.value() == 1.0
+    assert c.value(backend="tex2d") == 5.0
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    snap = c.snapshot()
+    assert snap["kind"] == "counter"
+    assert {tuple(s["labels"].items()): s["value"]
+            for s in snap["series"]} == {(): 1.0, (("backend", "tex2d"),): 5.0}
+
+
+def test_gauge_set_max():
+    g = Gauge("depth")
+    g.inc(4)
+    g.dec()
+    assert g.value() == 3.0
+    g.set_max(10)
+    g.set_max(5)          # lower value must not win
+    assert g.value() == 10.0
+
+
+def test_histogram_exact_totals_per_label_set():
+    h = Histogram("wait", reservoir_size=4, seed=0)
+    for v in range(100):
+        h.observe(v, task="classify")
+    h.observe(5.0, task="detect")
+    assert h.count(task="classify") == 100
+    assert h.sum(task="classify") == pytest.approx(sum(range(100)))
+    assert h.count(task="detect") == 1
+    assert len(h.reservoir(task="classify").values()) == 4
+
+
+def test_registry_idempotent_and_kind_checked():
+    reg = MetricsRegistry()
+    c1 = reg.counter("hits", help="tile cache hits")
+    c2 = reg.counter("hits")
+    assert c1 is c2
+    with pytest.raises(ValueError):
+        reg.gauge("hits")
+    assert reg.names() == ["hits"]
+    assert reg.get("hits") is c1
+    assert reg.get("missing") is None
+
+
+def test_registry_snapshot_and_json(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("a").inc(2)
+    reg.gauge("b").set(7)
+    reg.histogram("c").observe(1.5)
+    snap = reg.snapshot()
+    assert set(snap) == {"a", "b", "c"}
+    assert snap["a"]["series"][0]["value"] == 2.0
+    assert snap["c"]["series"][0]["count"] == 1
+    # to_json round-trips and write() produces the same payload
+    assert json.loads(reg.to_json()) == json.loads(json.dumps(snap))
+    path = tmp_path / "metrics.json"
+    reg.write(path)
+    assert json.loads(path.read_text()) == json.loads(reg.to_json())
+
+
+def test_metrics_thread_safety():
+    reg = MetricsRegistry()
+    c = reg.counter("n")
+    h = reg.histogram("h", reservoir_size=16)
+
+    def work():
+        for _ in range(500):
+            c.inc()
+            h.observe(1.0)
+
+    threads = [threading.Thread(target=work) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.value() == 8 * 500
+    assert h.count() == 8 * 500
+    assert h.sum() == pytest.approx(8 * 500)
+
+
+# ----------------------------------------------------------------------
+# SpanTracer
+# ----------------------------------------------------------------------
+class FakeClock:
+    """Monotonic fake clock advancing a fixed step per call."""
+
+    def __init__(self, step_s: float = 0.001):
+        self.t = 0.0
+        self.step = step_s
+
+    def __call__(self) -> float:
+        self.t += self.step
+        return self.t
+
+
+def _wall_events(trace):
+    return [e for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["pid"] == WALL_PID]
+
+
+def _sim_events(trace):
+    return [e for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["pid"] == SIM_PID]
+
+
+def _make_trace():
+    tracer = SpanTracer(clock=FakeClock())
+    with tracer.span("serve.session", cat="serve", requests=2):
+        with tracer.span("serve.batch", cat="serve", size=2):
+            tracer.record_kernel(KernelStats(
+                name="tex2dpp_deform", layer="backbone.stage0",
+                geometry="64x64x16x16", duration_ms=1.5, flop_count_sp=2e6))
+            tracer.record_kernel(KernelStats(
+                name="offset_head", layer="backbone.stage1",
+                duration_ms=0.5))
+    return tracer
+
+
+def test_chrome_trace_schema():
+    trace = _make_trace().chrome_trace()
+    assert trace["displayTimeUnit"] == "ms"
+    events = trace["traceEvents"]
+    # metadata names both processes
+    meta = [e for e in events if e["ph"] == "M"]
+    assert {(e["name"], e["pid"]) for e in meta} >= {
+        ("process_name", WALL_PID), ("process_name", SIM_PID)}
+    # every complete event carries the required Chrome trace fields
+    for e in events:
+        assert {"name", "ph", "pid", "tid"} <= set(e)
+        if e["ph"] == "X":
+            assert isinstance(e["ts"], float) and e["ts"] >= 0.0
+            assert isinstance(e["dur"], float) and e["dur"] >= 0.0
+    # the whole trace must be JSON-serialisable (Perfetto-loadable)
+    json.dumps(trace)
+
+
+def test_trace_wall_nesting_and_sim_layout():
+    tracer = _make_trace()
+    trace = tracer.chrome_trace()
+    wall = _wall_events(trace)
+    assert [e["name"] for e in wall] == ["serve.session", "serve.batch"]
+    outer, inner = wall
+    # the child span nests inside the parent on the same track
+    assert outer["tid"] == inner["tid"]
+    assert outer["ts"] <= inner["ts"]
+    assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"]
+    # sim kernels are laid back-to-back, tagged with their layer
+    sim = _sim_events(trace)
+    assert [e["name"] for e in sim] == ["tex2dpp_deform", "offset_head"]
+    assert sim[0]["ts"] == 0.0 and sim[0]["dur"] == pytest.approx(1500.0)
+    assert sim[1]["ts"] == pytest.approx(sim[0]["dur"])
+    assert sim[0]["args"]["layer"] == "backbone.stage0"
+    assert sim[0]["args"]["geometry"] == "64x64x16x16"
+    assert tracer.sim_time_us == pytest.approx(2000.0)
+
+
+def test_trace_export_deterministic():
+    a = json.dumps(_make_trace().chrome_trace(), sort_keys=True)
+    b = json.dumps(_make_trace().chrome_trace(), sort_keys=True)
+    assert a == b
+
+
+def test_trace_write_and_flame(tmp_path):
+    tracer = _make_trace()
+    path = tmp_path / "trace.json"
+    tracer.write(path)
+    trace = json.loads(path.read_text())
+    assert len(_sim_events(trace)) == 2
+    flame = tracer.flame_summary()
+    assert "serve.session" in flame
+    assert "tex2dpp_deform" in flame
+    # min_us filter drops the short kernel but keeps the long one
+    filtered = tracer.flame_summary(min_us=1000.0)
+    assert "tex2dpp_deform" in filtered and "offset_head" not in filtered
+
+
+def test_tracer_attach_to_profile_log():
+    from repro.gpusim.profiler import ProfileLog
+
+    tracer = SpanTracer(clock=FakeClock())
+    log = ProfileLog()
+    tracer.attach(log)
+    log.add(KernelStats(name="k", layer="l0", duration_ms=2.0))
+    assert tracer.sim_time_us == pytest.approx(2000.0)
+    assert tracer.num_events == 1
+
+
+def test_tracer_threads_get_distinct_tracks():
+    tracer = SpanTracer(clock=FakeClock())
+    barrier = threading.Barrier(3)   # keep all threads alive at once so
+                                     # the OS cannot recycle thread idents
+
+    def work(i):
+        with tracer.span(f"job{i}"):
+            barrier.wait()
+
+    threads = [threading.Thread(target=work, args=(i,)) for i in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    tids = {e["tid"] for e in _wall_events(tracer.chrome_trace())}
+    assert len(tids) == 3
