@@ -109,9 +109,9 @@ def cmd_tune(args) -> int:
     spec = get_device(args.device)
     cfg = _layer_from_arg(args.layer)
     store = TileStore(args.store) if args.store else None
-    tuner = TileTuner(spec, backend=args.backend, budget=args.budget,
-                      store=store)
-    result = tuner.tune(cfg, args.method)
+    with TileTuner(spec, backend=args.backend, budget=args.budget,
+                   store=store, workers=args.workers) as tuner:
+        result = tuner.tune(cfg, args.method)
     warm = " (from tile store)" if tuner.objective_evaluations == 0 else ""
     print(f"best tile for {cfg.label()} on {spec.name} [{args.backend}]: "
           f"{result.best_point} @ {result.best_value:.4f} ms "
@@ -205,7 +205,8 @@ def cmd_serve(args) -> int:
 
     engine = DefconEngine(model, spec, backend=args.backend,
                           autotune=autotune, tune_budget=args.tune_budget,
-                          tile_store=store, registry=registry, tracer=tracer)
+                          tile_store=store, registry=registry, tracer=tracer,
+                          plan_cache=False if args.no_plan_cache else None)
     if autotune:
         print(f"autotune: {len(engine.tiles)} tile(s) bound, "
               f"{engine.tune_evaluations} objective evaluation(s)"
@@ -223,10 +224,13 @@ def cmd_serve(args) -> int:
     batcher.serve_all(images)
     batched_ms = batcher.metrics.sim_ms_per_image
 
-    # sequential baseline: one engine call per request, same tiles
+    # sequential baseline: one engine call per request, same tiles (and the
+    # same plan cache, so both measurements see warmed steady-state plans)
     seq_engine = DefconEngine(model, spec, backend=args.backend,
                               autotune=autotune,
-                              tune_budget=args.tune_budget, tile_store=store)
+                              tune_budget=args.tune_budget, tile_store=store,
+                              plan_cache=engine.plan_cache
+                              if engine.plan_cache is not None else False)
     for img in images:
         if args.task == "detect":
             seq_engine.detect(img[None], **task_kwargs)
@@ -242,6 +246,11 @@ def cmd_serve(args) -> int:
     stats = engine.tile_cache_stats
     print(f"tile cache: {stats.hits} hits, {stats.near_hits} near-hits, "
           f"{stats.misses} misses")
+    pstats = engine.plan_cache_stats
+    if pstats is not None:
+        print(f"plan cache: {pstats.hits} hits, {pstats.misses} misses, "
+              f"{pstats.trace_builds} trace builds "
+              f"({pstats.hit_rate:.1f}% hit rate)")
     if tracer is not None:
         tracer.write(args.trace)
         print(f"wrote Chrome trace to {args.trace} "
@@ -379,7 +388,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["tex2d", "tex2dpp"])
     p.add_argument("--budget", type=int, default=14)
     p.add_argument("--method", default="bayes",
-                   choices=["bayes", "random", "grid"])
+                   choices=["bayes", "random", "grid", "sweep"])
+    p.add_argument("--workers", type=int, default=0,
+                   help="process-pool workers for --method sweep "
+                        "(0/1 = serial; results are identical)")
     p.add_argument("--store", default=None,
                    help="persist/reuse results in this tile-store JSON")
 
@@ -404,6 +416,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also export a Chrome trace JSON of the run")
     p.add_argument("--metrics-out", default=None, metavar="PATH",
                    help="also export the metrics registry as JSON")
+    p.add_argument("--no-plan-cache", action="store_true",
+                   help="disable the perf-model plan cache (for A/B "
+                        "comparison; see docs/performance.md)")
 
     p = sub.add_parser(
         "trace", help="trace a serving session (Chrome trace + metrics)")

@@ -43,13 +43,54 @@ class TextureCacheStats:
         return 100.0 * self.hits / self.texel_reads
 
     def scaled(self, factor: float) -> "TextureCacheStats":
+        # Rounding each counter independently can break the invariant
+        # hits + misses == texel_reads; round reads and misses, then
+        # *derive* hits so the identity survives any factor.
+        texel_reads = int(round(self.texel_reads * factor))
+        misses = min(int(round(self.misses * factor)), texel_reads)
         return TextureCacheStats(
             requests=int(round(self.requests * factor)),
-            texel_reads=int(round(self.texel_reads * factor)),
-            hits=int(round(self.hits * factor)),
-            misses=int(round(self.misses * factor)),
+            texel_reads=texel_reads,
+            hits=texel_reads - misses,
+            misses=misses,
             miss_bytes=self.miss_bytes * factor,
         )
+
+
+@dataclass(frozen=True)
+class TexelLineTrace:
+    """The tile-independent half of a cache simulation, computed once.
+
+    ``simulate()`` does two separable things: (1) map every in-bounds
+    bilinear corner texel to a block-linear cache line, and (2) group those
+    lines by issuing CTA and count per-CTA misses.  Step 1 depends only on
+    the sampling positions and the texture geometry; step 2 is the only
+    part the CTA tiling changes.  A ``TexelLineTrace`` captures step 1 so a
+    tile sweep re-runs just the cheap regrouping
+    (:meth:`TextureCacheModel.simulate_retiled`) per candidate tile.
+
+    ``lines``/``pixel`` are parallel arrays over the valid corner texels in
+    the exact order ``simulate(corners=True)`` visits them.  The remaining
+    fields cache pixel-granular reductions the per-tile accounting needs —
+    neighbouring taps of one output pixel mostly share lines, so the
+    deduplicated ``(pixel, line)`` pair list is several times shorter than
+    the raw trace, and per-tile work shrinks with it.
+    """
+
+    lines: np.ndarray        # (M,) block-linear line id per valid corner texel
+    pixel: np.ndarray        # (M,) output-pixel index that issued the fetch
+    requests: int            # bilinear fetches in the trace (pre-expansion)
+    #: unique (pixel, line) pairs of the trace, pixel-major ascending
+    dedup_pixel: np.ndarray
+    dedup_lines: np.ndarray
+    #: raw texel reads issued per output pixel (length = max pixel + 1)
+    pixel_counts: np.ndarray
+    #: line-id space bound: every id in ``lines`` is < ``line_space``
+    line_space: int
+
+    @property
+    def texel_reads(self) -> int:
+        return int(self.lines.size)
 
 
 class TextureCacheModel:
@@ -112,6 +153,91 @@ class TextureCacheModel:
             return TextureCacheStats(requests, 0, 0, 0, 0.0)
 
         lines = self.line_ids(y4, x4, tex_w)
+        return self._account(lines, cta4, requests, texel_reads)
+
+    def precompute(self, y: np.ndarray, x: np.ndarray, pixel: np.ndarray,
+                   tex_h: int, tex_w: int, corners: bool = True
+                   ) -> TexelLineTrace:
+        """One-pass step 1: the texel→line mapping of a fetch trace.
+
+        Same corner expansion and bounds filtering as :meth:`simulate`, but
+        tagged with the issuing *output pixel* instead of a CTA, so any CTA
+        tiling can be applied afterwards via :meth:`simulate_retiled`.
+        """
+        y = np.asarray(y, dtype=np.int64).ravel()
+        x = np.asarray(x, dtype=np.int64).ravel()
+        pixel = np.asarray(pixel, dtype=np.int64).ravel()
+        if not (y.size == x.size == pixel.size):
+            raise ValueError("y, x, pixel must have equal length")
+        requests = y.size
+        if corners:
+            y4 = np.concatenate([y, y, y + 1, y + 1])
+            x4 = np.concatenate([x, x + 1, x, x + 1])
+            pix4 = np.concatenate([pixel] * 4)
+        else:
+            y4, x4, pix4 = y, x, pixel
+        valid = (y4 >= 0) & (y4 < tex_h) & (x4 >= 0) & (x4 < tex_w)
+        y4, x4, pix4 = y4[valid], x4[valid], pix4[valid]
+        if y4.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return TexelLineTrace(lines=empty, pixel=pix4, requests=requests,
+                                  dedup_pixel=empty, dedup_lines=empty,
+                                  pixel_counts=empty, line_space=1)
+        lines = self.line_ids(y4, x4, tex_w)
+        # Pixel-granular reductions, paid once per trace: the deduplicated
+        # (pixel, line) pair set and the raw per-pixel read counts are all
+        # any CTA grouping of pixels needs.
+        line_space = int(lines.max()) + 1
+        pair_key = np.unique(pix4 * line_space + lines)
+        return TexelLineTrace(lines=lines, pixel=pix4, requests=requests,
+                              dedup_pixel=pair_key // line_space,
+                              dedup_lines=pair_key % line_space,
+                              pixel_counts=np.bincount(pix4),
+                              line_space=line_space)
+
+    def simulate_retiled(self, trace: TexelLineTrace,
+                         cta_of_pixel: np.ndarray) -> TextureCacheStats:
+        """One-pass step 2: re-bucket a precomputed trace under a tiling.
+
+        ``cta_of_pixel`` maps output-pixel index → CTA id for the candidate
+        tile (see :func:`repro.gpusim.trace.cta_ids_for_tile`).  The result
+        is bit-identical to ``simulate()`` run on the same trace with that
+        tiling, at a fraction of the cost: the corner expansion, bounds
+        filtering and line mapping are never repeated, and the accounting
+        runs counting-based over the trace's deduplicated (pixel, line)
+        pairs instead of re-sorting the raw texel stream — the unique-pair
+        set and per-CTA counts are invariant under the pixel→CTA grouping,
+        so every counter (and the thrash term, summed over the identical
+        per-CTA arrays) comes out exactly equal to ``_account``'s.
+        """
+        if trace.texel_reads == 0:
+            return TextureCacheStats(trace.requests, 0, 0, 0, 0.0)
+        cta_of_pixel = np.asarray(cta_of_pixel, dtype=np.int64)
+        num_ctas = int(cta_of_pixel.max()) + 1
+        space = trace.line_space
+        # Raw per-CTA access counts: sum the per-pixel read counts of the
+        # pixels each CTA owns (integer-exact).
+        accesses = np.zeros(num_ctas, dtype=np.int64)
+        np.add.at(accesses, cta_of_pixel[:trace.pixel_counts.size],
+                  trace.pixel_counts)
+        pair_key = cta_of_pixel[trace.dedup_pixel] * space + trace.dedup_lines
+        bins = num_ctas * space
+        if bins <= max(1 << 24, 16 * pair_key.size):
+            seen = np.bincount(pair_key, minlength=bins) > 0
+            unique_pairs = int(seen.sum())
+            uniq_per_cta = seen.reshape(num_ctas, space).sum(axis=1)
+        else:   # key space too sparse to tabulate: sort the deduped pairs
+            uniq = np.unique(pair_key)
+            unique_pairs = uniq.size
+            uniq_per_cta = np.bincount(uniq // space, minlength=num_ctas)
+        present = accesses > 0
+        return self._finish(unique_pairs, accesses[present],
+                            uniq_per_cta[present].astype(np.int64),
+                            trace.requests, trace.texel_reads)
+
+    def _account(self, lines: np.ndarray, cta4: np.ndarray, requests: int,
+                 texel_reads: int) -> TextureCacheStats:
+        """Reference miss accounting over the raw (line, CTA) stream."""
         # Unique (cta, line) pairs = compulsory misses per CTA.
         key = cta4 * (lines.max() + 1) + lines
         uniq_keys, first_idx = np.unique(key, return_index=True)
@@ -122,6 +248,13 @@ class TextureCacheModel:
         uniq_cta_of_pairs = cta4[first_idx]
         _, uniq_lines_per_cta = np.unique(np.sort(uniq_cta_of_pairs),
                                           return_counts=True)
+        return self._finish(unique_pairs, accesses_per_cta,
+                            uniq_lines_per_cta, requests, texel_reads)
+
+    def _finish(self, unique_pairs: int, accesses_per_cta: np.ndarray,
+                uniq_lines_per_cta: np.ndarray, requests: int,
+                texel_reads: int) -> TextureCacheStats:
+        """Turn per-CTA counts into stats (shared by both accountings)."""
         # Thrash: when a CTA's working set exceeds its capacity share, the
         # overflowing fraction of its re-accesses also misses.
         cap = self.capacity_lines

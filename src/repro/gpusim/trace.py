@@ -95,6 +95,43 @@ def deform_input_coalescing(py: np.ndarray, px: np.ndarray, h: int, w: int,
     return total
 
 
+def cta_ids_for_tile(out_h: int, out_w: int,
+                     tile: Tuple[int, int]) -> np.ndarray:
+    """Output-pixel → CTA id mapping for one (ty, tx) CTA tiling.
+
+    Returns an ``(out_h * out_w,)`` int array in row-major pixel order.
+    This is the *only* tile-dependent ingredient of a texture fetch trace,
+    which is what makes one-pass re-tiling
+    (:meth:`~repro.gpusim.cache.TextureCacheModel.simulate_retiled`) work.
+    """
+    ty, tx = tile
+    oy = np.repeat(np.arange(out_h), out_w)
+    ox = np.tile(np.arange(out_w), out_h)
+    tiles_x = -(-out_w // tx)
+    return (oy // ty) * tiles_x + (ox // tx)
+
+
+def sample_trace_ctas(y0: np.ndarray, x0: np.ndarray, cta: np.ndarray,
+                      num_fetches: int, plan: SamplePlan
+                      ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """Subsample a fetch trace by whole CTAs when it exceeds the plan.
+
+    Sampling whole CTAs preserves intra-CTA locality; ``num_fetches`` is
+    the unsampled trace length the returned ``scale`` restores.  A trace
+    within budget passes through untouched (``scale == 1.0``).
+    """
+    scale = 1.0
+    if y0.size > plan.max_fetches:
+        rng = np.random.default_rng(plan.seed)
+        num_ctas = int(cta.max()) + 1
+        keep = max(1, int(num_ctas * plan.max_fetches / y0.size))
+        chosen = rng.choice(num_ctas, size=keep, replace=False)
+        mask = np.isin(cta, chosen)
+        y0, x0, cta = y0[mask], x0[mask], cta[mask]
+        scale = num_fetches / max(1, y0.size)
+    return y0, x0, cta, scale
+
+
 def texture_fetch_trace(py: np.ndarray, px: np.ndarray, out_w: int,
                         tile: Tuple[int, int],
                         plan: Optional[SamplePlan] = None
@@ -112,22 +149,9 @@ def texture_fetch_trace(py: np.ndarray, px: np.ndarray, out_w: int,
     plan = plan or SamplePlan()
     k, l = py.shape
     out_h = l // out_w
-    ty, tx = tile
-    oy = np.repeat(np.arange(out_h), out_w)
-    ox = np.tile(np.arange(out_w), out_h)
-    tiles_x = -(-out_w // tx)
-    cta_of_pixel = (oy // ty) * tiles_x + (ox // tx)
+    cta_of_pixel = cta_ids_for_tile(out_h, out_w, tile)
     cta = np.broadcast_to(cta_of_pixel, (k, l)).ravel()
     y0 = np.floor(py).ravel().astype(np.int64)
     x0 = np.floor(px).ravel().astype(np.int64)
-    scale = 1.0
-    if y0.size > plan.max_fetches:
-        # Sample whole CTAs so intra-CTA locality is preserved.
-        rng = np.random.default_rng(plan.seed)
-        num_ctas = int(cta.max()) + 1
-        keep = max(1, int(num_ctas * plan.max_fetches / y0.size))
-        chosen = rng.choice(num_ctas, size=keep, replace=False)
-        mask = np.isin(cta, chosen)
-        y0, x0, cta = y0[mask], x0[mask], cta[mask]
-        scale = (k * l) / max(1, y0.size)
-    return y0, x0, cta, scale
+    # Sample whole CTAs so intra-CTA locality is preserved.
+    return sample_trace_ctas(y0, x0, cta, k * l, plan)

@@ -21,23 +21,31 @@ def run_deform_op(backend: str, x: np.ndarray, offset: np.ndarray,
                   tile: Tuple[int, int] = DEFAULT_TILE,
                   plan: Optional[SamplePlan] = None,
                   compute_output: bool = True,
-                  layer: str = "") -> OpResult:
+                  layer: str = "",
+                  plan_cache=None) -> OpResult:
     """Run one deformable conv through the selected backend.
 
     ``layer`` attributes the launched kernels to a model layer (a dotted
     module name): every :class:`~repro.gpusim.profiler.KernelStats` in the
     result is stamped with it, plus the geometry label, so per-layer
     profiling (``ProfileLog.by_layer``) works downstream.
+
+    ``plan_cache`` (a :class:`~repro.kernels.plancache.PlanCache`) lets
+    the texture backends reuse the fetch trace and cache simulation for
+    repeated (offsets, geometry, tile) combinations; the reference
+    backend ignores it.
     """
     if backend == "pytorch":
         res = run_reference(x, offset, weight, bias, cfg, spec, plan=plan,
                             compute_output=compute_output)
     elif backend == "tex2d":
         res = run_tex2d(x, offset, weight, bias, cfg, spec, tile=tile,
-                        plan=plan, compute_output=compute_output)
+                        plan=plan, compute_output=compute_output,
+                        plan_cache=plan_cache)
     elif backend == "tex2dpp":
         res = run_tex2dpp(x, offset, weight, bias, cfg, spec, tile=tile,
-                          plan=plan, compute_output=compute_output)
+                          plan=plan, compute_output=compute_output,
+                          plan_cache=plan_cache)
     else:
         raise ValueError(
             f"unknown backend {backend!r}; choose from {BACKENDS}")

@@ -1,0 +1,303 @@
+"""Memoised perf-model plans for the texture backends (the "plan cache").
+
+Every :func:`~repro.kernels.tex2d.run_tex2d` call used to re-derive the
+same expensive analytic state: rebuild the texture fetch trace from the
+sampling positions and re-run :class:`~repro.gpusim.cache.TextureCacheModel`
+from scratch — even when the offsets, geometry and tile were identical to
+the previous step, which is exactly the steady state of serving and of
+repeated benchmark iterations.
+
+The :class:`PlanCache` memoises that state at two levels:
+
+* a **trace entry** per (offset digest, geometry, device, sample plan,
+  fp16) — the floored fetch positions plus the tile-independent
+  texel→line mapping (:class:`~repro.gpusim.cache.TexelLineTrace`),
+  computed once per distinct offset tensor;
+* **per-tile stats** inside each entry — the simulated
+  :class:`~repro.gpusim.cache.TextureCacheStats` for every CTA tile ever
+  requested against that trace.  New tiles are served by the one-pass
+  re-tiled simulation (one cheap regrouping, no trace rebuild), so a
+  tuner sweep over K tiles costs one trace plus K regroupings instead of
+  K full simulations.
+
+Returned stats are **bit-identical** to an uncached simulation — the
+re-tiled path replays the exact accounting of ``simulate()`` — so the
+cache is a pure wall-time optimisation with no modelling drift (tests
+assert this property over random offsets, geometries and tiles).
+
+Observability: bind a :class:`~repro.obs.registry.MetricsRegistry` to get
+``plan_cache_lookups{result=hit|miss}`` and ``plan_cache_trace_builds``
+counters (``repro serve --metrics-out`` surfaces them), and a
+:class:`~repro.obs.tracer.SpanTracer` to see ``plancache.build_trace`` /
+``plancache.retile`` spans on the wall timeline.  See
+``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.gpusim.cache import (TexelLineTrace, TextureCacheModel,
+                                TextureCacheStats)
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.trace import SamplePlan, cta_ids_for_tile, sample_trace_ctas
+from repro.kernels.config import LayerConfig
+
+#: Default bound on distinct (offsets, geometry) trace entries kept live.
+DEFAULT_MAX_ENTRIES = 64
+
+
+def offsets_digest(offset: np.ndarray) -> str:
+    """Content digest of an offset tensor (dtype + shape + bytes).
+
+    blake2b over the raw buffer — fast (GB/s) relative to even one cache
+    simulation, and collision-safe for cache-keying purposes.
+    """
+    arr = np.ascontiguousarray(offset)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(arr.dtype).encode())
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class _TraceEntry:
+    """Cached per-(offsets, geometry) trace state + per-tile stats."""
+
+    y0: np.ndarray                     # (k·l,) floored fetch rows
+    x0: np.ndarray                     # (k·l,) floored fetch cols
+    lines: Optional[TexelLineTrace]    # None when the trace needs sampling
+    k: int
+    l: int
+    out_h: int
+    out_w: int
+    #: (tile, concurrent_layers) → (stats, trace scale)
+    stats: Dict[Tuple[Tuple[int, int], int],
+                Tuple[TextureCacheStats, float]] = field(default_factory=dict)
+
+
+class PlanCacheStats:
+    """Hit/miss/build counters of one :class:`PlanCache` (thread-safe)."""
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.trace_builds = 0
+        self._lock = threading.Lock()
+        self._lookup_counter = None
+        self._build_counter = None
+
+    @property
+    def bound(self) -> bool:
+        """Whether the counters already publish to some registry."""
+        with self._lock:
+            return self._lookup_counter is not None
+
+    def bind_registry(self, registry) -> "PlanCacheStats":
+        """Mirror counters onto a MetricsRegistry, re-publishing history."""
+        with self._lock:
+            self._lookup_counter = registry.counter(
+                "plan_cache_lookups",
+                help="perf-model plan cache lookups by result (hit/miss)")
+            self._build_counter = registry.counter(
+                "plan_cache_trace_builds",
+                help="fetch traces built by the plan cache (one per "
+                     "distinct offsets+geometry)")
+            for result, n in (("hit", self.hits), ("miss", self.misses)):
+                if n:
+                    self._lookup_counter.inc(n, result=result)
+            if self.trace_builds:
+                self._build_counter.inc(self.trace_builds)
+        return self
+
+    def record_hit(self) -> None:
+        with self._lock:
+            self.hits += 1
+            counter = self._lookup_counter
+        if counter is not None:
+            counter.inc(result="hit")
+
+    def record_miss(self) -> None:
+        with self._lock:
+            self.misses += 1
+            counter = self._lookup_counter
+        if counter is not None:
+            counter.inc(result="miss")
+
+    def record_trace_build(self) -> None:
+        with self._lock:
+            self.trace_builds += 1
+            counter = self._build_counter
+        if counter is not None:
+            counter.inc()
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return 100.0 * self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (f"PlanCacheStats(hits={self.hits}, misses={self.misses}, "
+                f"trace_builds={self.trace_builds})")
+
+
+class PlanCache:
+    """LRU-bounded memo of texture perf-model state.
+
+    Parameters
+    ----------
+    max_entries:
+        Distinct (offset digest, geometry, plan, fp16) trace entries kept
+        live; least-recently-used entries are evicted beyond this.  Each
+        entry additionally holds one stats record per tile requested
+        against it (the legal tile space is small, so this inner dict is
+        naturally bounded).
+    registry / tracer:
+        Optional observability hooks — see the module docstring.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES,
+                 registry=None, tracer=None):
+        if max_entries < 1:
+            raise ValueError("plan cache needs max_entries >= 1")
+        self.max_entries = max_entries
+        self.stats = PlanCacheStats()
+        self.tracer = tracer
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, _TraceEntry]" = OrderedDict()
+        if registry is not None:
+            self.stats.bind_registry(registry)
+
+    def bind_registry(self, registry) -> "PlanCache":
+        self.stats.bind_registry(registry)
+        return self
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    @staticmethod
+    def _trace_key(digest: str, cfg: LayerConfig, spec: DeviceSpec,
+                   fp16: bool, plan: SamplePlan) -> tuple:
+        # Everything the trace + line mapping depends on.  Cache-geometry
+        # fields of the spec are keyed explicitly so two specs sharing a
+        # name but differing in cache shape cannot alias.
+        return (digest, cfg.height, cfg.width, cfg.kernel_size, cfg.stride,
+                cfg.padding, cfg.dilation, bool(fp16), spec.name,
+                spec.tex_cache_kb_per_sm, spec.tex_cache_line_bytes,
+                tuple(spec.tex_line_tile), plan)
+
+    # ------------------------------------------------------------------
+    def tex_stats(self, offset: np.ndarray, cfg: LayerConfig,
+                  spec: DeviceSpec, tile: Tuple[int, int], fp16: bool,
+                  plan: Optional[SamplePlan], concurrent_layers: int,
+                  positions: Callable[[], Tuple[np.ndarray, np.ndarray]]
+                  ) -> Tuple[TextureCacheStats, float]:
+        """Memoised equivalent of trace-build + ``simulate`` for one call.
+
+        ``positions`` lazily supplies the representative ``(py, px)``
+        arrays of shape (K, L) — it is only invoked when the trace entry
+        has to be built, so steady-state hits never touch the sampling
+        positions at all.  Returns ``(stats, trace_scale)`` exactly as the
+        uncached path would produce them.
+        """
+        plan = plan or SamplePlan()
+        tile = (int(tile[0]), int(tile[1]))
+        key = self._trace_key(offsets_digest(offset), cfg, spec, fp16, plan)
+        stats_key = (tile, int(concurrent_layers))
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                cached = entry.stats.get(stats_key)
+                if cached is not None:
+                    self.stats.record_hit()
+                    return cached
+        self.stats.record_miss()
+        if entry is None:
+            entry = self._build_entry(cfg, spec, plan, positions)
+            with self._lock:
+                entry = self._entries.setdefault(key, entry)
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+        result = self._simulate_tile(entry, cfg, spec, tile, plan,
+                                     int(concurrent_layers))
+        with self._lock:
+            entry.stats.setdefault(stats_key, result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _build_entry(self, cfg: LayerConfig, spec: DeviceSpec,
+                     plan: SamplePlan,
+                     positions: Callable[[], Tuple[np.ndarray, np.ndarray]]
+                     ) -> _TraceEntry:
+        """Build the tile-independent trace state (the expensive half)."""
+        if self.tracer is not None:
+            with self.tracer.span("plancache.build_trace", cat="plancache",
+                                  geometry=cfg.label()):
+                return self._build_entry_inner(cfg, spec, plan, positions)
+        return self._build_entry_inner(cfg, spec, plan, positions)
+
+    def _build_entry_inner(self, cfg, spec, plan, positions) -> _TraceEntry:
+        self.stats.record_trace_build()
+        py, px = positions()
+        k, l = py.shape
+        y0 = np.floor(py).ravel().astype(np.int64)
+        x0 = np.floor(px).ravel().astype(np.int64)
+        lines = None
+        if y0.size <= plan.max_fetches:
+            # Within the sampling budget the trace is exact, so the
+            # texel→line mapping is tile-independent and precomputable.
+            # (Beyond it, whole-CTA sampling depends on the tile and each
+            # tile replays the sampling step instead.)
+            pixel = np.broadcast_to(np.arange(l), (k, l)).ravel()
+            model = TextureCacheModel(spec)
+            lines = model.precompute(y0, x0, pixel, cfg.height, cfg.width)
+        return _TraceEntry(y0=y0, x0=x0, lines=lines, k=k, l=l,
+                           out_h=cfg.out_height, out_w=cfg.out_width)
+
+    def _simulate_tile(self, entry: _TraceEntry, cfg: LayerConfig,
+                       spec: DeviceSpec, tile: Tuple[int, int],
+                       plan: SamplePlan, concurrent_layers: int
+                       ) -> Tuple[TextureCacheStats, float]:
+        """Simulate one CTA tiling against a cached trace entry."""
+        if self.tracer is not None:
+            with self.tracer.span("plancache.retile", cat="plancache",
+                                  geometry=cfg.label(),
+                                  tile=f"{tile[0]}x{tile[1]}"):
+                return self._simulate_tile_inner(entry, cfg, spec, tile,
+                                                 plan, concurrent_layers)
+        return self._simulate_tile_inner(entry, cfg, spec, tile, plan,
+                                         concurrent_layers)
+
+    def _simulate_tile_inner(self, entry, cfg, spec, tile, plan,
+                             concurrent_layers):
+        model = TextureCacheModel(spec, concurrent_layers=concurrent_layers)
+        cta_of_pixel = cta_ids_for_tile(entry.out_h, entry.out_w, tile)
+        if entry.lines is not None:
+            return model.simulate_retiled(entry.lines, cta_of_pixel), 1.0
+        # Sampled trace: CTA sampling depends on the tile, so replay it
+        # exactly as texture_fetch_trace would (bit-identical fallback).
+        cta = np.broadcast_to(cta_of_pixel,
+                              (entry.k, entry.l)).ravel()
+        y0, x0, cta, scale = sample_trace_ctas(entry.y0, entry.x0, cta,
+                                               entry.k * entry.l, plan)
+        stats = model.simulate(y0, x0, cta, cfg.height, cfg.width)
+        return stats, scale

@@ -47,10 +47,15 @@ def run_tex2d(x: np.ndarray, offset: np.ndarray, weight: np.ndarray,
               bias: Optional[np.ndarray], cfg: LayerConfig, spec: DeviceSpec,
               tile: Tuple[int, int] = DEFAULT_TILE, fp16_offsets: bool = False,
               plan: Optional[SamplePlan] = None,
-              compute_output: bool = True) -> OpResult:
+              compute_output: bool = True,
+              plan_cache: Optional["PlanCache"] = None) -> OpResult:
     """Execute the texture-hardware deformable conv (tex2D / tex2D++).
 
-    ``fp16_offsets=True`` selects the tex2D++ variant.
+    ``fp16_offsets=True`` selects the tex2D++ variant.  ``plan_cache``
+    (a :class:`~repro.kernels.plancache.PlanCache`) memoises the fetch
+    trace and cache simulation across calls with identical offsets,
+    geometry and tile — the returned kernel stats are bit-identical to
+    the uncached path.
     """
     plan = plan or SamplePlan()
     ty, tx = tile
@@ -62,15 +67,25 @@ def run_tex2d(x: np.ndarray, offset: np.ndarray, weight: np.ndarray,
     off = offset
     if fp16_offsets:
         off = offset.astype(np.float16).astype(np.float32)
-    py, px = sampling_positions(off, (cfg.height, cfg.width),
-                                cfg.kernel_size, cfg.stride, cfg.padding,
-                                cfg.dilation, dg)
+
+    # Sampling positions are needed by the functional path always, but by
+    # the performance model only on a plan-cache miss — compute lazily so
+    # steady-state stats-only calls skip them entirely.
+    _pos: list = []
+
+    def positions() -> Tuple[np.ndarray, np.ndarray]:
+        if not _pos:
+            _pos.append(sampling_positions(
+                off, (cfg.height, cfg.width), cfg.kernel_size, cfg.stride,
+                cfg.padding, cfg.dilation, dg))
+        return _pos[0]
 
     # ------------------------------------------------------------------
     # functional result through the texture unit
     # ------------------------------------------------------------------
     output = None
     if compute_output:
+        py, px = positions()
         desc = TextureDescriptor(address_mode="border", filter_mode="linear",
                                  fp16_coords=fp16_offsets)
         tex = LayeredTexture2D.from_feature_map(x, desc=desc, spec=spec)
@@ -93,10 +108,17 @@ def run_tex2d(x: np.ndarray, offset: np.ndarray, weight: np.ndarray,
     # ------------------------------------------------------------------
     # performance model: kernel 1 — tex2d sampling
     # ------------------------------------------------------------------
-    y0, x0, cta, scale = texture_fetch_trace(py[0, 0], px[0, 0],
-                                             cfg.out_width, tile, plan)
-    cache = TextureCacheModel(spec, concurrent_layers=min(cpg, 4))
-    tex_stats = cache.simulate(y0, x0, cta, cfg.height, cfg.width)
+    concurrent_layers = min(cpg, 4)
+    if plan_cache is not None:
+        tex_stats, scale = plan_cache.tex_stats(
+            offset, cfg, spec, tile, fp16_offsets, plan, concurrent_layers,
+            lambda: (positions()[0][0, 0], positions()[1][0, 0]))
+    else:
+        py, px = positions()
+        y0, x0, cta, scale = texture_fetch_trace(py[0, 0], px[0, 0],
+                                                 cfg.out_width, tile, plan)
+        cache = TextureCacheModel(spec, concurrent_layers=concurrent_layers)
+        tex_stats = cache.simulate(y0, x0, cta, cfg.height, cfg.width)
     # One representative (batch, group, channel); all channels share the
     # trace, so counters scale by n·dg·cpg (cache behaviour per layer is
     # identical — each layer's lines are distinct but isomorphic).
@@ -145,13 +167,13 @@ def run_tex2d(x: np.ndarray, offset: np.ndarray, weight: np.ndarray,
     gemm = gemm_cost(cfg.out_channels, n * l, c * k)
     gemm_launch = LaunchConfig(
         grid=max(1, -(-(cfg.out_channels * n * l) // (128 * 64))), block=256)
+    gemm_loads = strided_stats(int(gemm.dram_bytes // 4), 4, spec)
     gemm_stats = KernelStats(
         name="implicit_gemm",
         duration_ms=estimate_time_ms(gemm, gemm_launch, spec),
         flop_count_sp=gemm.flops,
-        gld_requests=strided_stats(int(gemm.dram_bytes // 4), 4, spec).requests,
-        gld_transactions=strided_stats(int(gemm.dram_bytes // 4), 4,
-                                       spec).transactions,
+        gld_requests=gemm_loads.requests,
+        gld_transactions=gemm_loads.transactions,
         gld_bytes_requested=gemm.dram_bytes,
         dram_read_bytes=gemm.dram_bytes,
     )
@@ -162,8 +184,9 @@ def run_tex2dpp(x: np.ndarray, offset: np.ndarray, weight: np.ndarray,
                 bias: Optional[np.ndarray], cfg: LayerConfig,
                 spec: DeviceSpec, tile: Tuple[int, int] = DEFAULT_TILE,
                 plan: Optional[SamplePlan] = None,
-                compute_output: bool = True) -> OpResult:
+                compute_output: bool = True,
+                plan_cache: Optional["PlanCache"] = None) -> OpResult:
     """The tex2D++ variant: fp16 offsets, half the offset bandwidth."""
     return run_tex2d(x, offset, weight, bias, cfg, spec, tile=tile,
                      fp16_offsets=True, plan=plan,
-                     compute_output=compute_output)
+                     compute_output=compute_output, plan_cache=plan_cache)

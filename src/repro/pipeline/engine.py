@@ -35,6 +35,7 @@ from repro.gpusim.device import DeviceSpec
 from repro.gpusim.profiler import ProfileLog
 from repro.kernels.config import LayerConfig
 from repro.kernels.dispatch import BACKENDS, run_deform_op
+from repro.kernels.plancache import PlanCache, PlanCacheStats
 from repro.kernels.tex2d import DEFAULT_TILE
 from repro.kernels.tiling import TileKey, nearest_tile_key, tile_key
 from repro.nn import Module
@@ -115,6 +116,8 @@ class TextureRuntime:
     tiles: Dict[TileKey, Tuple[int, int]] = field(default_factory=dict)
     default_tile: Tuple[int, int] = DEFAULT_TILE
     cache_stats: TileCacheStats = field(default_factory=TileCacheStats)
+    #: perf-model plan cache shared by every layer execution (None = off)
+    plan_cache: Optional[PlanCache] = None
     #: near-hit resolutions memoised per runtime geometry
     resolved: Dict[TileKey, Tuple[int, int]] = field(default_factory=dict)
     _warned: Set[TileKey] = field(default_factory=set)
@@ -165,7 +168,8 @@ class TextureRuntime:
                             offsets.data.astype(np.float32),
                             layer.weight.data, bias, cfg, self.spec,
                             tile=tile, compute_output=True,
-                            layer=getattr(layer, "layer_name", ""))
+                            layer=getattr(layer, "layer_name", ""),
+                            plan_cache=self.plan_cache)
         for k in res.kernels:
             self.log.add(k)
         return Tensor(res.output.astype(np.float32))
@@ -185,6 +189,14 @@ class DefconEngine:
     when not supplied; ``tracer`` (optional) streams every simulated kernel
     launch onto the trace's simGPU timeline and wraps ``classify``/
     ``detect`` calls in wall-time spans.
+
+    ``plan_cache`` memoises the texture perf model (fetch trace + cache
+    simulation) across steps with identical offsets/geometry/tile — the
+    steady state of serving.  ``None`` (default) creates a private
+    :class:`~repro.kernels.plancache.PlanCache`; pass an existing one to
+    share plans across engines (e.g. a batched and a sequential engine
+    over the same model), or ``False`` to disable caching.  Hit/miss
+    counters land on the registry as ``plan_cache_lookups{result=...}``.
     """
 
     def __init__(self, model: Module, spec: DeviceSpec,
@@ -193,7 +205,8 @@ class DefconEngine:
                  tile_store: Optional[object] = None,
                  registry: Optional[MetricsRegistry] = None,
                  tracer: Optional[SpanTracer] = None,
-                 max_log_records: Optional[int] = ProfileLog.DEFAULT_MAX_RECORDS):
+                 max_log_records: Optional[int] = ProfileLog.DEFAULT_MAX_RECORDS,
+                 plan_cache=None):
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; choose from {BACKENDS}")
@@ -205,8 +218,19 @@ class DefconEngine:
         self.tune_evaluations = 0
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer
+        if plan_cache is False:
+            self.plan_cache: Optional[PlanCache] = None
+        elif plan_cache is None:
+            self.plan_cache = PlanCache(registry=self.registry, tracer=tracer)
+        else:
+            # A shared cache keeps publishing to whichever registry bound
+            # it first — a second engine must not steal its counters.
+            self.plan_cache = plan_cache
+            if not plan_cache.stats.bound:
+                plan_cache.bind_registry(self.registry)
         self._runtime = TextureRuntime(spec=spec, backend=backend,
-                                       log=self.log)
+                                       log=self.log,
+                                       plan_cache=self.plan_cache)
         self._runtime.cache_stats.bind_registry(self.registry)
         self._layers = [m for m in model.modules()
                         if isinstance(m, DeformConv2d)]
@@ -235,9 +259,14 @@ class DefconEngine:
         backend load straight from disk — the tuner objective is never
         evaluated for them.
         """
+        # plan_cache=False on the engine disables trace reuse everywhere,
+        # including inside the tuner's candidate evaluations.
         tuner = TileTuner(self.spec, backend=self.backend, budget=budget,
                           seed=seed, store=self.tile_store,
-                          registry=self.registry)
+                          registry=self.registry,
+                          plan_cache=(self.plan_cache
+                                      if self.plan_cache is not None
+                                      else False))
         backbone = getattr(self.model, "backbone", None)
         if backbone is None:
             return
@@ -272,6 +301,12 @@ class DefconEngine:
     def tile_cache_stats(self) -> TileCacheStats:
         """Hit/near-hit/miss counters of the runtime tile lookup."""
         return self._runtime.cache_stats
+
+    @property
+    def plan_cache_stats(self) -> Optional[PlanCacheStats]:
+        """Hit/miss/build counters of the perf-model plan cache (None =
+        caching disabled)."""
+        return self.plan_cache.stats if self.plan_cache is not None else None
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "DefconEngine":

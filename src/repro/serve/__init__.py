@@ -2,11 +2,16 @@
 
 The deployment stack of the reproduction: a persistent tile store
 (:mod:`repro.autotune.store`) warms the engine with offline-tuned tiles,
-the :class:`RequestBatcher` coalesces single-image requests into batched
+the engine's :class:`~repro.kernels.plancache.PlanCache` memoises the
+texture perf model so steady-state repeated geometries skip trace
+generation and cache simulation (hit/miss counters appear as
+``plan_cache_lookups`` on the shared registry), the
+:class:`RequestBatcher` coalesces single-image requests into batched
 engine calls, and :class:`ServingMetrics` makes queueing, batching and
 per-stage latency observable on a shared
 :class:`~repro.obs.registry.MetricsRegistry` with bounded memory.  See
-``docs/serving.md`` and ``docs/observability.md``.
+``docs/serving.md``, ``docs/performance.md`` and
+``docs/observability.md``.
 """
 
 from repro.serve.batcher import RequestBatcher

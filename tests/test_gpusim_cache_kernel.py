@@ -4,8 +4,9 @@ import numpy as np
 import pytest
 
 from repro.gpusim import (XAVIER, KernelCost, LaunchConfig, TextureCacheModel,
-                          estimate_time_ms, gemm_cost, merge_costs,
-                          occupancy, stats_from_cost, wave_efficiency)
+                          TextureCacheStats, estimate_time_ms, gemm_cost,
+                          merge_costs, occupancy, stats_from_cost,
+                          wave_efficiency)
 
 from helpers import rng
 
@@ -91,6 +92,25 @@ class TestCacheModel:
         doubled = st.scaled(2.0)
         assert doubled.texel_reads == 2 * st.texel_reads
         assert doubled.miss_bytes == pytest.approx(2 * st.miss_bytes)
+
+    def test_stats_scaled_preserves_hits_misses_invariant(self):
+        """Regression: independently rounding hits and misses used to
+        break ``hits + misses == texel_reads`` for awkward factors; hits
+        are now derived from the other two."""
+        g = rng(1)
+        for _ in range(50):
+            reads = int(g.integers(1, 10_000))
+            misses = int(g.integers(0, reads + 1))
+            st = TextureCacheStats(requests=reads // 4, texel_reads=reads,
+                                   hits=reads - misses, misses=misses,
+                                   miss_bytes=misses * 128.0)
+            factor = float(g.uniform(0.001, 700.0))
+            sc = st.scaled(factor)
+            assert sc.hits + sc.misses == sc.texel_reads
+            assert sc.hits >= 0 and sc.misses >= 0
+        # degenerate factor: everything collapses to zero, not negatives
+        zero = st.scaled(0.0)
+        assert (zero.texel_reads, zero.hits, zero.misses) == (0, 0, 0)
 
 
 class TestLaunchAndOccupancy:

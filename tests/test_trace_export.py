@@ -48,7 +48,14 @@ def test_engine_trace_has_wall_and_sim_spans(model, images):
             if e["ph"] == "X" and e["pid"] == WALL_PID]
     sim = [e for e in trace["traceEvents"]
            if e["ph"] == "X" and e["pid"] == SIM_PID]
-    assert [e["name"] for e in wall] == ["engine.classify"]
+    # wall track: the classify span plus the plan cache building its
+    # per-geometry trace state on this cold first run
+    assert [e["name"] for e in wall if e.get("cat") != "plancache"
+            ] == ["engine.classify"]
+    plancache_spans = [e for e in wall if e.get("cat") == "plancache"]
+    assert {e["name"] for e in plancache_spans} <= {
+        "plancache.build_trace", "plancache.retile"}
+    assert plancache_spans, "cold run must build plan-cache traces"
     # one sim span per kernel launch, each attributed to a real module path
     assert len(sim) == len(eng.log.records)
     layer_names = {name for name, _ in model.named_modules()}
