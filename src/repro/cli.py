@@ -13,6 +13,9 @@ user reaches for first:
   batching, per-stage metrics, batched-vs-sequential latency (``--trace``
   exports a Chrome trace of the run);
 * ``tiles``         — inspect / export / import the persistent tile store;
+* ``conformance``   — cross-backend conformance suite: differential
+  oracles, metamorphic invariants and a shrinking fuzzer
+  (``run`` generates + checks cases, ``replay`` re-runs a failure JSON);
 * ``trace``         — run a model preset under the span tracer and write
   Perfetto-loadable ``trace.json`` + ``metrics.json`` plus the per-layer
   latency table (paper Table II/IV style).
@@ -363,6 +366,76 @@ def cmd_tiles(args) -> int:
     raise ValueError(f"unknown tiles action {args.action!r}")
 
 
+def cmd_conformance(args) -> int:
+    """``repro conformance`` — cross-backend conformance suite."""
+    import contextlib
+    import sys as _sys
+
+    from repro.conformance import (CaseGenerator, ConformanceRunner,
+                                   inject_fault, load_repro)
+
+    spec = get_device(args.device)
+    runner = ConformanceRunner(spec)
+    inject = (inject_fault(args.inject) if args.inject
+              else contextlib.nullcontext())
+
+    if args.action == "replay":
+        try:
+            case = load_repro(args.repro)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot load repro {args.repro}: {exc}",
+                  file=_sys.stderr)
+            return 1
+        with inject:
+            report = runner.run_case(case)
+        rows = [[r.name,
+                 "skip" if r.skipped else "pass" if r.passed else "FAIL",
+                 f"{r.max_err:.3e}", f"{r.tolerance:.3e}", r.detail[:60]]
+                for r in report.results]
+        print(format_table(
+            ["check", "result", "max err", "tolerance", "detail"], rows,
+            title=f"Replay of case {case.case_id()} "
+                  f"({case.height}x{case.width}x{case.in_channels}, "
+                  f"{case.offset_regime}) on {spec.name}"))
+        verdict = "PASS" if report.passed else "FAIL"
+        print(f"\nreplay {verdict}: {len(report.failures)} failing "
+              f"check(s) of {len(report.results)}")
+        return 0 if report.passed else 1
+
+    from repro.obs import MetricsRegistry
+
+    cases = CaseGenerator(seed=args.seed).generate(args.cases)
+    registry = MetricsRegistry()
+    with inject:
+        suite = runner.run_suite(cases, shrink=not args.no_shrink,
+                                 out_dir=args.out)
+    suite.bind_registry(registry)
+    print(format_table(
+        ["check", "runs", "pass", "fail", "skip", "worst margin"],
+        suite.check_rows(),
+        title=f"Conformance: {suite.num_cases} cases, seed {args.seed}, "
+              f"{spec.name}" + (f", fault={args.inject}" if args.inject
+                                else "")))
+    pstats = runner.plan_cache.stats if runner.plan_cache else None
+    if pstats is not None and pstats.lookups:
+        print(f"plan cache: {pstats.hits} hits / {pstats.lookups} lookups "
+              f"({pstats.hit_rate:.1f}%)")
+    if args.metrics_out:
+        registry.write(args.metrics_out)
+        print(f"wrote metrics registry to {args.metrics_out}")
+    failed = suite.failed_reports
+    if failed:
+        print(f"\nFAIL: {len(failed)}/{suite.num_cases} case(s) failed; "
+              f"{len(suite.artifacts)} repro artifact(s):")
+        for path in suite.artifacts:
+            print(f"  {path}")
+        print(f"replay one with: repro conformance replay <path> "
+              f"--device {args.device}")
+        return 1
+    print(f"\nPASS: {suite.num_cases} cases, all checks within bounds")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -457,6 +530,35 @@ def build_parser() -> argparse.ArgumentParser:
     pi.add_argument("--overwrite", action="store_true",
                     help="replace existing entries on key collision")
 
+    p = sub.add_parser(
+        "conformance",
+        help="differential conformance suite for the deform kernels")
+    conf_sub = p.add_subparsers(dest="action", required=True)
+    pr = conf_sub.add_parser(
+        "run", help="generate cases and run the full check catalogue")
+    pr.add_argument("--device", default="xavier")
+    pr.add_argument("--cases", type=int, default=200,
+                    help="number of cases to generate (default 200)")
+    pr.add_argument("--seed", type=int, default=0)
+    pr.add_argument("--out", default="results/conformance",
+                    help="directory for failure repro JSONs")
+    pr.add_argument("--no-shrink", action="store_true",
+                    help="serialise failures without minimising them")
+    pr.add_argument("--inject", default=None,
+                    choices=["flip-bilinear", "drop-quantization"],
+                    help="inject a known kernel fault (suite self-test; "
+                         "the run is expected to FAIL)")
+    pr.add_argument("--metrics-out", default=None, metavar="PATH",
+                    help="also export the metrics registry as JSON")
+    pp = conf_sub.add_parser(
+        "replay", help="re-run one failure repro JSON deterministically")
+    pp.add_argument("repro", metavar="REPRO_JSON",
+                    help="path written by a failing `conformance run`")
+    pp.add_argument("--device", default="xavier")
+    pp.add_argument("--inject", default=None,
+                    choices=["flip-bilinear", "drop-quantization"],
+                    help="replay under the same injected fault")
+
     p = sub.add_parser("latency-table", help="build the NAS t(w_n) table")
     p.add_argument("--device", default="xavier")
     p.add_argument("--arch", default="r101s")
@@ -480,6 +582,7 @@ COMMANDS = {
     "serve": cmd_serve,
     "tiles": cmd_tiles,
     "trace": cmd_trace,
+    "conformance": cmd_conformance,
 }
 
 

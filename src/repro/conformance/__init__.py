@@ -1,0 +1,31 @@
+"""Cross-backend conformance subsystem.
+
+Differential oracles, metamorphic invariants and a shrinking fuzzer for
+the deformable-conv kernels — see ``docs/conformance.md`` and the
+``repro conformance`` CLI command.
+"""
+
+from repro.conformance.cases import (CASE_SCHEMA_VERSION, CORNER_GEOMETRIES,
+                                     OFFSET_REGIMES, CaseGenerator,
+                                     ConformanceCase, make_offsets)
+from repro.conformance.inject import FAULTS, inject_fault
+from repro.conformance.oracle import (ORACLE_BACKENDS, OracleRun,
+                                      fixed_point_tolerance, oracle_run,
+                                      pairwise_coord_tolerance,
+                                      ulp_tolerance)
+from repro.conformance.report import (CaseReport, CheckResult, SuiteReport,
+                                      compare_exact, compare_within)
+from repro.conformance.runner import (ConformanceRunner, load_repro,
+                                      write_repro)
+from repro.conformance.shrink import shrink_case
+
+__all__ = [
+    "CASE_SCHEMA_VERSION", "CORNER_GEOMETRIES", "OFFSET_REGIMES",
+    "CaseGenerator", "ConformanceCase", "make_offsets",
+    "FAULTS", "inject_fault",
+    "ORACLE_BACKENDS", "OracleRun", "fixed_point_tolerance", "oracle_run",
+    "pairwise_coord_tolerance", "ulp_tolerance",
+    "CaseReport", "CheckResult", "SuiteReport", "compare_exact",
+    "compare_within",
+    "ConformanceRunner", "load_repro", "write_repro", "shrink_case",
+]

@@ -1,0 +1,316 @@
+"""Conformance cases: adversarial layer geometries × offset regimes.
+
+A :class:`ConformanceCase` is one fully-determined execution of the
+deformable operator — layer geometry, CTA tile, RNG seed and an *offset
+regime* (how the sampling offsets are synthesised).  Everything a case
+needs is reproducible from its fields, so a case serialises to a small
+JSON payload that ``repro conformance replay`` can re-run bit-for-bit on
+any machine.
+
+The :class:`CaseGenerator` enumerates the adversarial corners of the
+geometry space first (1×1 maps, stride/dilation/padding extremes, grouped
+channels, degenerate batches, non-square planes) crossed with every offset
+regime, then fills the remaining budget with seeded random draws.  The
+regimes target the numerically interesting parts of the texture path:
+
+``zero``
+    All offsets zero — the operator must degenerate to a regular conv.
+``integer``
+    Integer-valued offsets — sampling fractions are exactly zero, so the
+    operator must degenerate to a (shifted) gather.
+``grid``
+    Offsets on the 1/128 sub-texel grid, exactly representable in fp16
+    and in 1.8 fixed point — the bitwise-friendly regime translation
+    equivariance builds on.
+``boundary``
+    Offsets that land sampling positions exactly on texel 0 / H−1 and
+    half a texel beyond — the border-addressing edge.
+``outside``
+    Offsets larger than the feature map — every bilinear corner is
+    out of bounds and must contribute exactly zero.
+``subtexel``
+    Fractions a hair's breadth around the 1.8 fixed-point rounding ties
+    (k/256 ± 2⁻¹²) — the fp16/fixed-point stress regime.
+``clamped``
+    Gaussian offsets clipped hard at the deformation bound P, so many
+    entries sit exactly on ±P (paper Section III-A-c).
+``gaussian``
+    Smooth continuous offsets, the realistic trained-DCN regime.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.kernels.config import LayerConfig
+from repro.kernels.tex2d import DEFAULT_TILE
+
+#: Payload schema version for repro JSON artifacts.
+CASE_SCHEMA_VERSION = 1
+
+OFFSET_REGIMES = ("zero", "integer", "grid", "boundary", "outside",
+                  "subtexel", "clamped", "gaussian")
+
+#: Hand-picked adversarial geometries (kwargs over LayerConfig defaults).
+CORNER_GEOMETRIES: Tuple[dict, ...] = (
+    dict(in_channels=4, out_channels=4, height=1, width=1),
+    dict(in_channels=2, out_channels=3, height=1, width=17),
+    dict(in_channels=2, out_channels=2, height=13, width=3, stride=2),
+    dict(in_channels=8, out_channels=4, height=9, width=9, stride=3,
+         padding=0),
+    dict(in_channels=6, out_channels=6, height=11, width=11, dilation=3,
+         padding=3),
+    dict(in_channels=8, out_channels=8, height=10, width=14,
+         deformable_groups=4),
+    dict(in_channels=4, out_channels=2, height=12, width=12,
+         deformable_groups=2, stride=2, dilation=2, padding=2),
+    dict(in_channels=3, out_channels=5, height=8, width=8, kernel_size=1,
+         padding=0),
+    dict(in_channels=2, out_channels=2, height=9, width=7, kernel_size=5,
+         padding=2, batch=2),
+    dict(in_channels=4, out_channels=4, height=6, width=6, batch=3),
+)
+
+#: CTA tiles the generator cycles through (all legal for every preset).
+TILE_POOL: Tuple[Tuple[int, int], ...] = (
+    DEFAULT_TILE, (1, 1), (1, 32), (32, 1), (8, 8), (4, 16),
+)
+
+
+@dataclass
+class ConformanceCase:
+    """One replayable conformance execution of the deformable operator."""
+
+    in_channels: int
+    out_channels: int
+    height: int
+    width: int
+    kernel_size: int = 3
+    stride: int = 1
+    padding: int = 1
+    dilation: int = 1
+    deformable_groups: int = 1
+    batch: int = 1
+    tile: Tuple[int, int] = DEFAULT_TILE
+    offset_regime: str = "gaussian"
+    seed: int = 0
+    with_bias: bool = True
+    #: explicit offset override (set by the shrinker); regenerated from
+    #: the regime when None
+    offsets: Optional[np.ndarray] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    def layer_config(self) -> LayerConfig:
+        return LayerConfig(
+            self.in_channels, self.out_channels, self.height, self.width,
+            kernel_size=self.kernel_size, stride=self.stride,
+            padding=self.padding, dilation=self.dilation,
+            deformable_groups=self.deformable_groups, batch=self.batch)
+
+    def is_valid(self) -> bool:
+        cfg = self.layer_config()
+        return (cfg.out_height >= 1 and cfg.out_width >= 1
+                and self.in_channels % self.deformable_groups == 0
+                and self.in_channels >= self.deformable_groups
+                and min(self.tile) >= 1
+                and self.offset_regime in OFFSET_REGIMES)
+
+    def case_id(self) -> str:
+        """Short stable content id (geometry + regime + seed + offsets)."""
+        h = hashlib.blake2b(digest_size=6)
+        h.update(json.dumps(self._geometry_payload(), sort_keys=True
+                            ).encode())
+        if self.offsets is not None:
+            h.update(np.ascontiguousarray(self.offsets).tobytes())
+        return h.hexdigest()
+
+    # ------------------------------------------------------------------
+    def materialize(self) -> Dict[str, Optional[np.ndarray]]:
+        """Deterministic input/weight/bias/offset arrays for this case."""
+        cfg = self.layer_config()
+        rng = np.random.default_rng(np.random.SeedSequence(
+            entropy=(0xDEFC0, self.seed)))
+        x = rng.normal(size=cfg.input_shape()).astype(np.float32)
+        scale = 1.0 / np.sqrt(max(1, cfg.in_channels * cfg.taps))
+        w = (rng.normal(size=cfg.weight_shape()) * scale).astype(np.float32)
+        b = (rng.normal(size=(cfg.out_channels,)).astype(np.float32)
+             if self.with_bias else None)
+        off = (np.asarray(self.offsets, dtype=np.float32)
+               if self.offsets is not None
+               else make_offsets(cfg, self.offset_regime, self.seed))
+        if off.shape != cfg.offset_shape():
+            raise ValueError(
+                f"offsets {off.shape} != geometry {cfg.offset_shape()}")
+        return {"x": x, "offset": off, "weight": w, "bias": b}
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+    def _geometry_payload(self) -> dict:
+        return {
+            "in_channels": self.in_channels,
+            "out_channels": self.out_channels,
+            "height": self.height, "width": self.width,
+            "kernel_size": self.kernel_size, "stride": self.stride,
+            "padding": self.padding, "dilation": self.dilation,
+            "deformable_groups": self.deformable_groups,
+            "batch": self.batch, "tile": list(self.tile),
+            "offset_regime": self.offset_regime, "seed": self.seed,
+            "with_bias": self.with_bias,
+        }
+
+    def to_payload(self) -> dict:
+        payload = self._geometry_payload()
+        if self.offsets is not None:
+            off = np.asarray(self.offsets, dtype=np.float32)
+            payload["offsets"] = {"shape": list(off.shape),
+                                  "values": off.ravel().tolist()}
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ConformanceCase":
+        data = dict(payload)
+        off_data = data.pop("offsets", None)
+        data["tile"] = tuple(data.get("tile", DEFAULT_TILE))
+        case = cls(**data)
+        if off_data is not None:
+            case.offsets = np.asarray(
+                off_data["values"], dtype=np.float32).reshape(
+                    off_data["shape"])
+        if not case.is_valid():
+            raise ValueError(f"invalid case payload: {payload}")
+        return case
+
+    def with_overrides(self, **kwargs) -> "ConformanceCase":
+        """Copy with fields replaced (offsets drop unless passed in)."""
+        base = {**self._geometry_payload(), "tile": self.tile}
+        base.update(kwargs)
+        return ConformanceCase(**base)
+
+
+# ----------------------------------------------------------------------
+# offset regimes
+# ----------------------------------------------------------------------
+def _regime_rng(cfg: LayerConfig, seed: int) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence(
+        entropy=(0x0FF5E7, seed, cfg.height, cfg.width, cfg.taps)))
+
+
+def make_offsets(cfg: LayerConfig, regime: str, seed: int) -> np.ndarray:
+    """Synthesise one regime's offset tensor for a geometry (seeded)."""
+    rng = _regime_rng(cfg, seed)
+    shape = cfg.offset_shape()
+    reach = float(max(cfg.height, cfg.width))
+    if regime == "zero":
+        return np.zeros(shape, dtype=np.float32)
+    if regime == "integer":
+        return np.rint(rng.normal(0.0, 2.0, size=shape)).astype(np.float32)
+    if regime == "grid":
+        raw = rng.uniform(-4.0, 4.0, size=shape)
+        return (np.round(raw * 128.0) / 128.0).astype(np.float32)
+    if regime == "boundary":
+        # Aim sampling rows/cols at {-1, -0.5, 0, H-1, H-0.5, H}: the
+        # targets are absolute positions, so subtract a plausible base.
+        targets_y = np.array([-1.0, -0.5, 0.0, cfg.height - 1.0,
+                              cfg.height - 0.5, float(cfg.height)])
+        targets_x = np.array([-1.0, -0.5, 0.0, cfg.width - 1.0,
+                              cfg.width - 0.5, float(cfg.width)])
+        off = np.empty(shape, dtype=np.float32)
+        k = cfg.taps
+        picks_y = rng.integers(0, targets_y.size,
+                               size=(shape[0], cfg.deformable_groups, k,
+                                     shape[2], shape[3]))
+        picks_x = rng.integers(0, targets_x.size, size=picks_y.shape)
+        base = rng.integers(0, max(1, min(cfg.height, cfg.width)),
+                            size=picks_y.shape)
+        o5 = off.reshape(shape[0], cfg.deformable_groups, k, 2,
+                         shape[2], shape[3])
+        o5[:, :, :, 0] = targets_y[picks_y] - base
+        o5[:, :, :, 1] = targets_x[picks_x] - base
+        return off
+    if regime == "outside":
+        sign = rng.choice([-1.0, 1.0], size=shape)
+        mag = rng.uniform(2.0 * reach + 4.0, 4.0 * reach + 8.0, size=shape)
+        return (sign * mag).astype(np.float32)
+    if regime == "subtexel":
+        whole = np.rint(rng.normal(0.0, 2.0, size=shape))
+        quantum = rng.integers(0, 256, size=shape) / 256.0
+        nudge = rng.choice([-1.0, 1.0], size=shape) * 2.0 ** -12
+        return (whole + quantum + 2.0 ** -9 + nudge).astype(np.float32)
+    if regime == "clamped":
+        return np.clip(rng.normal(0.0, 4.0, size=shape), -4.0, 4.0
+                       ).astype(np.float32)
+    if regime == "gaussian":
+        return rng.normal(0.0, 2.5, size=shape).astype(np.float32)
+    raise ValueError(
+        f"unknown offset regime {regime!r}; choose from {OFFSET_REGIMES}")
+
+
+# ----------------------------------------------------------------------
+# generator
+# ----------------------------------------------------------------------
+class CaseGenerator:
+    """Seeded, deterministic conformance-case stream.
+
+    The first ``len(CORNER_GEOMETRIES) × len(OFFSET_REGIMES)`` cases walk
+    the hand-picked adversarial corners crossed with every regime; the
+    rest are random draws over bounded geometry ranges.  Identical seeds
+    yield identical case lists (tests assert this).
+    """
+
+    def __init__(self, seed: int = 0, max_hw: int = 20,
+                 max_channels: int = 12, max_batch: int = 2):
+        self.seed = seed
+        self.max_hw = max_hw
+        self.max_channels = max_channels
+        self.max_batch = max_batch
+
+    def generate(self, n: int) -> List[ConformanceCase]:
+        rng = np.random.default_rng(np.random.SeedSequence(
+            entropy=(0xCA5E, self.seed)))
+        cases: List[ConformanceCase] = []
+        idx = 0
+        for geo in CORNER_GEOMETRIES:
+            for regime in OFFSET_REGIMES:
+                if len(cases) >= n:
+                    return cases
+                case = ConformanceCase(
+                    **geo, offset_regime=regime,
+                    tile=TILE_POOL[idx % len(TILE_POOL)],
+                    seed=self.seed * 100003 + idx)
+                idx += 1
+                if case.is_valid():
+                    cases.append(case)
+        while len(cases) < n:
+            case = self._random_case(rng, idx)
+            idx += 1
+            if case.is_valid():
+                cases.append(case)
+        return cases
+
+    def _random_case(self, rng: np.random.Generator,
+                     idx: int) -> ConformanceCase:
+        dg = int(rng.choice([1, 1, 2, 4]))
+        cpg = int(rng.integers(1, max(2, self.max_channels // dg) + 1))
+        kernel = int(rng.choice([1, 3, 3, 3, 5]))
+        return ConformanceCase(
+            in_channels=dg * cpg,
+            out_channels=int(rng.integers(1, self.max_channels + 1)),
+            height=int(rng.integers(1, self.max_hw + 1)),
+            width=int(rng.integers(1, self.max_hw + 1)),
+            kernel_size=kernel,
+            stride=int(rng.choice([1, 1, 2, 3])),
+            padding=int(rng.choice([0, 1, kernel // 2, kernel - 1])),
+            dilation=int(rng.choice([1, 1, 2, 3])),
+            deformable_groups=dg,
+            batch=int(rng.integers(1, self.max_batch + 1)),
+            tile=TILE_POOL[int(rng.integers(0, len(TILE_POOL)))],
+            offset_regime=OFFSET_REGIMES[int(rng.integers(
+                0, len(OFFSET_REGIMES)))],
+            seed=self.seed * 100003 + idx,
+            with_bias=bool(rng.integers(0, 2)))

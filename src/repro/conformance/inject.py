@@ -1,0 +1,45 @@
+"""Deliberate kernel-bug injection for validating the conformance suite.
+
+A conformance harness that has never caught a bug proves nothing, so the
+suite ships with injectable faults — small, realistic kernel defects the
+differential oracle must catch (and the shrinker must minimise).  The
+oracle is immune by construction: it carries its own copies of the spec
+constants and quantisation code, so patching the simulator cannot blind
+it.
+
+``flip-bilinear``
+    Replaces the texture unit's 1.8 fixed-point fraction with its
+    complement (``frac → 1 − frac``), i.e. swaps the two bilinear blend
+    weights on each axis — the classic transposed-lerp bug.
+``drop-quantization``
+    Skips the 1.8 fixed-point rounding entirely, blending with full fp32
+    fractions.  Catches tolerance models that are secretly two-sided.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+import repro.gpusim.texture as texture
+
+FAULTS = ("flip-bilinear", "drop-quantization")
+
+
+@contextlib.contextmanager
+def inject_fault(name: str) -> Iterator[None]:
+    """Context manager installing one named kernel fault."""
+    if name not in FAULTS:
+        raise ValueError(f"unknown fault {name!r}; choose from {FAULTS}")
+    orig = texture.quantize_fraction
+    if name == "flip-bilinear":
+        def patched(frac):
+            return orig(1.0 - frac)
+    else:  # drop-quantization
+        def patched(frac):
+            return frac
+    texture.quantize_fraction = patched
+    try:
+        yield
+    finally:
+        texture.quantize_fraction = orig

@@ -1,0 +1,143 @@
+"""Conformance check results, per-case reports and the suite summary."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one conformance check on one case."""
+
+    name: str
+    passed: bool
+    max_err: float = 0.0
+    tolerance: float = 0.0
+    skipped: bool = False
+    detail: str = ""
+
+    @property
+    def margin(self) -> float:
+        """err / tol — how close a passing check came to its bound."""
+        if self.tolerance <= 0:
+            return 0.0 if self.max_err == 0 else float("inf")
+        return self.max_err / self.tolerance
+
+
+def compare_within(name: str, got: np.ndarray, want: np.ndarray,
+                   tol: np.ndarray, detail: str = "") -> CheckResult:
+    """Elementwise |got − want| ≤ tol check."""
+    if got.shape != want.shape:
+        return CheckResult(name, False,
+                           detail=f"shape {got.shape} != {want.shape}")
+    err = np.abs(np.asarray(got, dtype=np.float64)
+                 - np.asarray(want, dtype=np.float64))
+    tol = np.broadcast_to(np.asarray(tol, dtype=np.float64), err.shape)
+    bad = err > tol
+    if not bad.any():
+        # Report the tightest err/tol pair so `margin` is meaningful.
+        ratio = np.where(tol > 0, err / np.where(tol > 0, tol, 1.0), 0.0)
+        worst = int(np.argmax(ratio))
+        return CheckResult(name, True, max_err=float(err.ravel()[worst]),
+                           tolerance=float(tol.ravel()[worst]),
+                           detail=detail)
+    worst = int(np.argmax(np.where(bad, err - tol, -np.inf)))
+    idx = np.unravel_index(worst, err.shape)
+    return CheckResult(
+        name, False, max_err=float(err[idx]), tolerance=float(tol[idx]),
+        detail=(f"{int(bad.sum())}/{err.size} elements out of bound; "
+                f"worst at {tuple(int(i) for i in idx)}" +
+                (f" ({detail})" if detail else "")))
+
+
+def compare_exact(name: str, got: np.ndarray, want: np.ndarray,
+                  detail: str = "") -> CheckResult:
+    """Bitwise equality check (the exactness tier)."""
+    if got.shape != want.shape:
+        return CheckResult(name, False,
+                           detail=f"shape {got.shape} != {want.shape}")
+    if np.array_equal(got, want):
+        return CheckResult(name, True, detail=detail)
+    err = np.abs(np.asarray(got, dtype=np.float64)
+                 - np.asarray(want, dtype=np.float64))
+    mism = int((np.asarray(got) != np.asarray(want)).sum())
+    return CheckResult(
+        name, False, max_err=float(err.max()), tolerance=0.0,
+        detail=f"{mism}/{got.size} elements differ bitwise" +
+               (f" ({detail})" if detail else ""))
+
+
+def skipped(name: str, why: str) -> CheckResult:
+    return CheckResult(name, True, skipped=True, detail=f"skipped: {why}")
+
+
+@dataclass
+class CaseReport:
+    """All check outcomes for one case."""
+
+    case: "ConformanceCase"  # noqa: F821 — avoids a circular import
+    results: List[CheckResult] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[CheckResult]:
+        return [r for r in self.results if not r.passed]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+
+@dataclass
+class SuiteReport:
+    """Aggregate over a conformance run."""
+
+    reports: List[CaseReport] = field(default_factory=list)
+    artifacts: List[str] = field(default_factory=list)
+
+    @property
+    def num_cases(self) -> int:
+        return len(self.reports)
+
+    @property
+    def failed_reports(self) -> List[CaseReport]:
+        return [r for r in self.reports if not r.passed]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failed_reports
+
+    def check_rows(self) -> List[List]:
+        """Per-check summary rows: name, runs, passes, fails, skips,
+        worst err/tol margin across passing runs."""
+        stats: Dict[str, dict] = {}
+        for report in self.reports:
+            for r in report.results:
+                s = stats.setdefault(r.name, dict(
+                    runs=0, passed=0, failed=0, skipped=0, margin=0.0))
+                s["runs"] += 1
+                if r.skipped:
+                    s["skipped"] += 1
+                elif r.passed:
+                    s["passed"] += 1
+                    s["margin"] = max(s["margin"], r.margin)
+                else:
+                    s["failed"] += 1
+        return [[name, s["runs"], s["passed"], s["failed"], s["skipped"],
+                 round(s["margin"], 4)]
+                for name, s in sorted(stats.items())]
+
+    def bind_registry(self, registry) -> None:
+        """Publish pass/fail counters onto a MetricsRegistry."""
+        cases = registry.counter(
+            "conformance_cases", help="conformance cases by result")
+        checks = registry.counter(
+            "conformance_checks", help="conformance checks by name/result")
+        for report in self.reports:
+            cases.inc(result="pass" if report.passed else "fail")
+            for r in report.results:
+                result = ("skip" if r.skipped
+                          else "pass" if r.passed else "fail")
+                checks.inc(check=r.name, result=result)

@@ -1,0 +1,122 @@
+"""Greedy shrinking of failing conformance cases.
+
+Given a failing case, repeatedly try smaller variants — halved spatial
+extent, dropped batch/channels/groups, simplified kernel geometry, then
+ddmin-style zeroing of offset entries — keeping a variant whenever it
+still reproduces (one of) the *original* failing checks.  The result is a
+minimal case whose JSON artifact a human can actually stare at.
+
+The shrinker never imports the runner (the runner imports us); any object
+with a ``run_case(case) -> CaseReport`` method works.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.conformance.cases import ConformanceCase
+from repro.conformance.report import CaseReport
+
+#: Evaluation budget per shrink — each evaluation reruns the full check
+#: catalogue on a (shrinking) case, so this bounds shrink wall time.
+DEFAULT_MAX_EVALS = 80
+
+
+def _geometry_candidates(case: ConformanceCase
+                         ) -> Iterator[ConformanceCase]:
+    """Smaller variants, most aggressive first."""
+    if case.height > 1:
+        yield case.with_overrides(height=(case.height + 1) // 2)
+    if case.width > 1:
+        yield case.with_overrides(width=(case.width + 1) // 2)
+    if case.batch > 1:
+        yield case.with_overrides(batch=1)
+    if case.deformable_groups > 1:
+        yield case.with_overrides(deformable_groups=1)
+    cpg = case.in_channels // case.deformable_groups
+    if cpg > 1:
+        yield case.with_overrides(
+            in_channels=case.deformable_groups * ((cpg + 1) // 2))
+    if case.out_channels > 1:
+        yield case.with_overrides(
+            out_channels=(case.out_channels + 1) // 2)
+    if case.kernel_size == 5:
+        yield case.with_overrides(kernel_size=3, padding=1)
+    if case.kernel_size == 3:
+        yield case.with_overrides(kernel_size=1, padding=0)
+    if case.stride > 1:
+        yield case.with_overrides(stride=1)
+    if case.dilation > 1:
+        yield case.with_overrides(dilation=1)
+    if case.padding > 1:
+        yield case.with_overrides(padding=1)
+    if case.height > 1:
+        yield case.with_overrides(height=case.height - 1)
+    if case.width > 1:
+        yield case.with_overrides(width=case.width - 1)
+    if case.with_bias:
+        yield case.with_overrides(with_bias=False)
+
+
+def shrink_case(case: ConformanceCase, report: CaseReport, runner,
+                max_evals: int = DEFAULT_MAX_EVALS
+                ) -> Tuple[ConformanceCase, CaseReport]:
+    """Minimise ``case`` while one of its failing checks keeps failing."""
+    fail_names: Set[str] = {r.name for r in report.failures}
+    evals = 0
+
+    def reproduces(cand: ConformanceCase) -> Optional[CaseReport]:
+        nonlocal evals
+        if evals >= max_evals or not cand.is_valid():
+            return None
+        evals += 1
+        rep = runner.run_case(cand)
+        if any(r.name in fail_names for r in rep.failures):
+            return rep
+        return None
+
+    best, best_report = case, report
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for cand in _geometry_candidates(best):
+            rep = reproduces(cand)
+            if rep is not None:
+                best, best_report = cand, rep
+                improved = True
+                break
+
+    best, best_report = _zero_offsets(best, best_report, reproduces)
+    return best, best_report
+
+
+def _zero_offsets(case: ConformanceCase, report: CaseReport, reproduces
+                  ) -> Tuple[ConformanceCase, CaseReport]:
+    """ddmin-style pass zeroing offset chunks that don't matter.
+
+    Serialises the surviving offsets explicitly into the case so the
+    repro JSON replays the exact values, not the regime."""
+    off = np.array(case.materialize()["offset"], copy=True)
+    if not np.any(off):
+        return case, report
+    best, best_report = case, report
+    chunks = 2
+    while chunks <= min(64, off.size):
+        flat = off.ravel()
+        edges = np.linspace(0, flat.size, chunks + 1, dtype=int)
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            if lo == hi or not np.any(flat[lo:hi]):
+                continue
+            trial = flat.copy()
+            trial[lo:hi] = 0.0
+            cand = case.with_overrides()
+            cand.offsets = trial.reshape(off.shape)
+            rep = reproduces(cand)
+            if rep is not None:
+                flat = trial
+                off = trial.reshape(off.shape)
+                best, best_report = cand, rep
+        chunks *= 2
+    return best, best_report

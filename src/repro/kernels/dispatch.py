@@ -62,13 +62,18 @@ def run_layer_all_backends(cfg: LayerConfig, spec: DeviceSpec,
                            offset_sigma: float = 2.0,
                            bound: Optional[float] = None, seed: int = 0,
                            compute_output: bool = False,
-                           plan: Optional[SamplePlan] = None
-                           ) -> Dict[str, OpResult]:
+                           plan: Optional[SamplePlan] = None,
+                           plan_cache=None) -> Dict[str, OpResult]:
     """Run one layer shape through all three backends with shared data.
 
     This is the workhorse of the Table II / Table IV / Fig. 7 benches:
     identical input, weights and (synthesised) offsets per backend, so the
     latency differences are purely the execution strategy.
+
+    ``plan_cache`` is forwarded to the texture backends so repeated sweeps
+    over the same layer reuse the fetch trace and cache simulation; both
+    outputs and perf counters are bit-identical to an uncached run (the
+    conformance suite and tests/test_determinism.py assert this).
     """
     rng = np.random.default_rng(seed)
     x = rng.normal(size=cfg.input_shape()).astype(np.float32)
@@ -78,6 +83,7 @@ def run_layer_all_backends(cfg: LayerConfig, spec: DeviceSpec,
     off = synth_offsets(cfg, sigma=offset_sigma, bound=bound, seed=seed)
     return {
         backend: run_deform_op(backend, x, off, w, b, cfg, spec, tile=tile,
-                               plan=plan, compute_output=compute_output)
+                               plan=plan, compute_output=compute_output,
+                               plan_cache=plan_cache)
         for backend in BACKENDS
     }

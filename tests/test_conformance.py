@@ -1,0 +1,199 @@
+"""The conformance subsystem: generator, oracle, suite, shrinker, CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.conformance import (CaseGenerator, ConformanceCase,
+                               ConformanceRunner, inject_fault, load_repro,
+                               make_offsets, oracle_run, ulp_tolerance)
+from repro.conformance.report import compare_exact, compare_within
+from repro.gpusim import XAVIER
+from repro.kernels.config import LayerConfig
+
+from helpers import rng
+
+pytestmark = pytest.mark.conformance
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ConformanceRunner(XAVIER)
+
+
+class TestCaseGenerator:
+    def test_same_seed_same_cases(self):
+        a = CaseGenerator(seed=7).generate(40)
+        b = CaseGenerator(seed=7).generate(40)
+        assert [c.case_id() for c in a] == [c.case_id() for c in b]
+
+    def test_different_seeds_differ(self):
+        a = CaseGenerator(seed=0).generate(40)
+        b = CaseGenerator(seed=1).generate(40)
+        assert [c.case_id() for c in a] != [c.case_id() for c in b]
+
+    def test_all_generated_cases_valid(self):
+        for case in CaseGenerator(seed=3).generate(120):
+            assert case.is_valid()
+            arrays = case.materialize()
+            cfg = case.layer_config()
+            assert arrays["x"].shape == cfg.input_shape()
+            assert arrays["offset"].shape == cfg.offset_shape()
+
+    def test_corners_cross_every_regime(self):
+        from repro.conformance import CORNER_GEOMETRIES, OFFSET_REGIMES
+
+        cases = CaseGenerator(seed=0).generate(
+            len(CORNER_GEOMETRIES) * len(OFFSET_REGIMES))
+        regimes = {(c.height, c.width, c.offset_regime) for c in cases}
+        assert len(regimes) == len(cases)
+
+    def test_offset_regime_properties(self):
+        cfg = LayerConfig(4, 4, 9, 9)
+        zero = make_offsets(cfg, "zero", seed=0)
+        assert not np.any(zero)
+        integer = make_offsets(cfg, "integer", seed=0)
+        assert np.array_equal(integer, np.rint(integer))
+        grid = make_offsets(cfg, "grid", seed=0)
+        assert np.array_equal(grid * 128, np.rint(grid * 128.0))
+        outside = make_offsets(cfg, "outside", seed=0)
+        assert np.abs(outside).min() > 2 * 9
+
+
+class TestCaseSerialization:
+    def test_json_round_trip(self):
+        case = CaseGenerator(seed=2).generate(30)[-1]
+        clone = ConformanceCase.from_payload(
+            json.loads(json.dumps(case.to_payload())))
+        assert clone.case_id() == case.case_id()
+        a, b = case.materialize(), clone.materialize()
+        for key in ("x", "offset", "weight"):
+            assert np.array_equal(a[key], b[key])
+
+    def test_explicit_offsets_survive_round_trip(self):
+        case = ConformanceCase(in_channels=2, out_channels=2, height=4,
+                               width=4)
+        case.offsets = rng(0).normal(
+            size=case.layer_config().offset_shape()).astype(np.float32)
+        clone = ConformanceCase.from_payload(
+            json.loads(json.dumps(case.to_payload())))
+        assert np.array_equal(clone.materialize()["offset"],
+                              case.offsets)
+        assert clone.case_id() == case.case_id()
+
+    def test_invalid_payload_rejected(self):
+        with pytest.raises(ValueError):
+            ConformanceCase.from_payload(
+                dict(in_channels=3, out_channels=2, height=4, width=4,
+                     deformable_groups=2))
+
+
+class TestToleranceModel:
+    def test_ulp_tolerance_positive_and_magnitude_scaled(self):
+        cfg = LayerConfig(4, 4, 6, 6)
+        case = ConformanceCase(in_channels=4, out_channels=4, height=6,
+                               width=6, seed=1)
+        arrays = case.materialize()
+        ora = oracle_run(arrays["x"], arrays["offset"], arrays["weight"],
+                         arrays["bias"], cfg, "tex2d")
+        tol = ulp_tolerance(arrays["weight"], arrays["bias"], ora, cfg)
+        assert tol.shape == ora.output.shape
+        assert (tol > 0).all()
+        scaled = oracle_run(arrays["x"] * 100, arrays["offset"],
+                            arrays["weight"], arrays["bias"], cfg, "tex2d")
+        assert ulp_tolerance(arrays["weight"], arrays["bias"], scaled,
+                             cfg).max() > tol.max() * 10
+
+    def test_compare_helpers(self):
+        a = np.array([1.0, 2.0])
+        assert compare_exact("x", a, a.copy()).passed
+        assert not compare_exact("x", a, a + 1e-9).passed
+        assert compare_within("x", a, a + 1e-4, np.array(1e-3)).passed
+        bad = compare_within("x", a, a + 1e-2, np.array(1e-3))
+        assert not bad.passed and bad.max_err > bad.tolerance
+
+
+class TestSuite:
+    def test_small_suite_green(self, runner):
+        cases = CaseGenerator(seed=0).generate(16)
+        suite = runner.run_suite(cases, shrink=False)
+        failures = [(r.case.case_id(), f.name, f.detail)
+                    for r in suite.failed_reports for f in r.failures]
+        assert suite.passed, failures
+        names = {r.name for rep in suite.reports for r in rep.results}
+        assert "oracle.tex2dpp" in names
+        assert "pair.tex2d_vs_reference" in names
+        assert "inv.zero_offset.tex2d" in names
+        assert "plancache.bit_identical.tex2dpp" in names
+
+    def test_metrics_binding(self, runner):
+        from repro.obs import MetricsRegistry
+
+        suite = runner.run_suite(CaseGenerator(seed=0).generate(2),
+                                 shrink=False)
+        registry = MetricsRegistry()
+        suite.bind_registry(registry)
+        cases = registry.counter("conformance_cases")
+        assert cases.value(result="pass") == 2
+        checks = registry.counter("conformance_checks")
+        assert checks.value(check="oracle.tex2d", result="pass") == 2
+
+
+class TestInjectedBug:
+    """The acceptance-criteria loop: catch → shrink → replay."""
+
+    def test_flip_bilinear_caught_shrunk_and_replayable(self, runner,
+                                                        tmp_path):
+        cases = CaseGenerator(seed=0).generate(3)
+        with inject_fault("flip-bilinear"):
+            suite = runner.run_suite(cases, shrink=True,
+                                     out_dir=str(tmp_path))
+        assert not suite.passed, "injected bilinear flip was not caught"
+        assert suite.artifacts
+        path = suite.artifacts[0]
+        payload = json.loads(open(path).read())
+        case = payload["case"]
+        assert case["height"] * case["width"] <= 64, \
+            "shrinker left the repro too large"
+        replayed = load_repro(path)
+        with inject_fault("flip-bilinear"):
+            first = runner.run_case(replayed)
+            second = runner.run_case(replayed)
+        assert first.failures and second.failures
+        assert [f.name for f in first.failures] == \
+            [f.name for f in second.failures], "replay is nondeterministic"
+        clean = runner.run_case(replayed)
+        assert clean.passed, "repro fails even without the fault"
+
+    def test_injection_restores_kernel(self, runner):
+        case = CaseGenerator(seed=0).generate(1)[0]
+        with inject_fault("flip-bilinear"):
+            assert not runner.run_case(case).passed
+        assert runner.run_case(case).passed
+
+
+class TestCLI:
+    def test_conformance_run_and_replay_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "repros"
+        assert main(["conformance", "run", "--cases", "4", "--seed", "0",
+                     "--out", str(out)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+        assert main(["conformance", "run", "--cases", "2", "--seed", "0",
+                     "--out", str(out), "--inject", "flip-bilinear"]) == 1
+        captured = capsys.readouterr().out
+        assert "FAIL" in captured
+        repros = sorted(out.glob("*.json"))
+        assert repros
+        assert main(["conformance", "replay", str(repros[0]),
+                     "--inject", "flip-bilinear"]) == 1
+        assert main(["conformance", "replay", str(repros[0])]) == 0
+
+    def test_replay_missing_file_errors(self, capsys):
+        from repro.cli import main
+
+        assert main(["conformance", "replay", "/nonexistent.json"]) == 1
+        assert "error" in capsys.readouterr().err

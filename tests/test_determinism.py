@@ -82,3 +82,74 @@ class TestSeededFlows:
         run_layer_all_backends(cfg, XAVIER, compute_output=False)
         after = np.random.get_state()[1][:5]
         assert np.array_equal(before, after)
+
+
+def _stats_rows(result):
+    """Numeric KernelStats fields of every launched kernel."""
+    import dataclasses
+
+    from repro.gpusim.profiler import KernelStats
+
+    names = [f.name for f in dataclasses.fields(KernelStats)
+             if f.name not in ("name", "layer", "geometry")]
+    return [[getattr(k, f) for f in names] for k in result.kernels]
+
+
+class TestPlanCacheDeterminism:
+    """Plan caching is a wall-time optimisation, never a numerics one."""
+
+    def test_all_backends_cached_vs_uncached_bit_identical(self):
+        """Regression (ISSUE 4 satellite): run_layer_all_backends must
+        thread plan_cache through, and cached runs — cold and warm — must
+        reproduce uncached outputs and perf counters bit for bit."""
+        from repro.kernels.plancache import PlanCache
+
+        cfg = LayerConfig(8, 8, 12, 12, deformable_groups=2)
+        base = run_layer_all_backends(cfg, XAVIER, bound=7.0, seed=3,
+                                      compute_output=True)
+        cache = PlanCache(max_entries=8)
+        cold = run_layer_all_backends(cfg, XAVIER, bound=7.0, seed=3,
+                                      compute_output=True, plan_cache=cache)
+        warm = run_layer_all_backends(cfg, XAVIER, bound=7.0, seed=3,
+                                      compute_output=True, plan_cache=cache)
+        assert cache.stats.hits > 0, "warm pass never hit the plan cache"
+        for backend in base:
+            for cached in (cold, warm):
+                assert np.array_equal(base[backend].output,
+                                      cached[backend].output)
+                assert _stats_rows(base[backend]) == _stats_rows(
+                    cached[backend])
+
+    def test_engine_plan_cache_on_off_bit_identical(self):
+        """Same-seed engine runs are bit-identical with the plan cache
+        enabled (default) and disabled, in both outputs and latency."""
+        from repro.nas import manual_interval_placement
+        from repro.pipeline import DefconEngine
+
+        images = rng(9).uniform(0, 1, size=(2, 3, 64, 64)
+                                ).astype(np.float32)
+        outputs, latencies = [], []
+        for plan_cache in (None, False):
+            model = build_classifier(
+                "r50s", placement=manual_interval_placement(9, 3),
+                bound=7.0, seed=5)
+            eng = DefconEngine(model, XAVIER, backend="tex2dpp",
+                               plan_cache=plan_cache)
+            outputs.append(eng.classify(images))
+            latencies.append(eng.deformable_latency_ms())
+        assert latencies[0] > 0
+        assert np.array_equal(outputs[0], outputs[1])
+        assert latencies[0] == latencies[1]
+
+    def test_sweep_parallel_vs_serial_same_tile(self):
+        """`sweep --workers N` must pick the same tile (and the same
+        full latency history) as the serial sweep."""
+        from repro.autotune.tuner import TileTuner
+
+        cfg = LayerConfig(8, 8, 14, 14)
+        with TileTuner(XAVIER, backend="tex2d", workers=2) as parallel:
+            par = parallel.sweep(cfg)
+        serial = TileTuner(XAVIER, backend="tex2d", workers=0).sweep(cfg)
+        assert par.best_point == serial.best_point
+        assert par.best_value == serial.best_value
+        assert par.history == serial.history
