@@ -1,0 +1,112 @@
+"""Fleet scheduler — cost-model routing vs baselines, plus fault tolerance.
+
+Not a paper figure: the serving-tier consequence of the paper's
+per-device latency model.  The same gpusim cost path that feeds the NAS
+latency table (Eq. 6) prices every worker's expected completion time, so
+the router can exploit a heterogeneous fleet (Xavier + 2080Ti) instead
+of spreading load uniformly.  Two claims are gated here:
+
+* **routing** — cost-model routing finishes the same request stream in
+  strictly less simulated time (higher throughput) than round-robin and
+  random placement on a heterogeneous fleet;
+* **fault tolerance** — with a crash fault injected on one worker, the
+  fleet still completes every request via breaker + retry-with-rerouting
+  and **zero futures are lost** (every one resolves).
+
+Both runs are deterministic simulations (fixed seed, simulated clock).
+"""
+
+import numpy as np
+import pytest
+
+from repro.fleet import build_fleet
+from repro.models import build_classifier
+from repro.nas import manual_interval_placement
+
+from common import run_once, write_bench_json, write_result
+
+NUM_REQUESTS = 12
+INPUT_SIZE = 32
+DEVICES = ("xavier", "2080ti")
+POLICIES = ("cost", "round-robin", "random")
+FAULT = "w1-rtx-2080ti=crash:0-0.3"
+
+
+def _images():
+    rng = np.random.default_rng(0)
+    return [rng.uniform(0, 1, size=(3, INPUT_SIZE, INPUT_SIZE)
+                        ).astype(np.float32) for _ in range(NUM_REQUESTS)]
+
+
+def _run(model, router, faults=(), **kw):
+    sched = build_fleet(model, DEVICES, router=router, faults=list(faults),
+                        max_batch_size=2, seed=0, **kw)
+    futures = [sched.submit(img) for img in _images()]
+    sched.drain()
+    snap = sched.snapshot()
+    snap["unresolved"] = len(sched.unresolved())
+    snap["futures_failed"] = sum(1 for f in futures
+                                 if f.exception() is not None)
+    snap["throughput_rps"] = (snap["completed"] / snap["makespan_ms"] * 1e3
+                              if snap["makespan_ms"] > 0 else 0.0)
+    return snap
+
+
+def regenerate():
+    model = build_classifier("r50s", input_size=INPUT_SIZE,
+                             placement=manual_interval_placement(9, 3),
+                             bound=7.0, seed=0)
+
+    routing = {policy: _run(model, policy) for policy in POLICIES}
+    fault = _run(model, "cost", faults=[FAULT], breaker_threshold=1)
+
+    rows = []
+    for policy, snap in routing.items():
+        shares = snap["completed_by_worker"]
+        rows.append([policy, round(snap["makespan_ms"], 3),
+                     round(snap["throughput_rps"], 1),
+                     shares.get("w0-jetson-agx-xavier", 0),
+                     shares.get("w1-rtx-2080ti", 0), "-", "-"])
+    rows.append([f"cost + {FAULT}", round(fault["makespan_ms"], 3),
+                 round(fault["throughput_rps"], 1),
+                 fault["completed_by_worker"].get("w0-jetson-agx-xavier", 0),
+                 fault["completed_by_worker"].get("w1-rtx-2080ti", 0),
+                 fault["retries"], fault["unresolved"]])
+
+    from repro.pipeline import format_table
+    text = format_table(
+        ["router", "makespan (sim ms)", "req/s (sim)", "xavier", "2080ti",
+         "retries", "unresolved"], rows,
+        title=f"Fleet scheduler — {NUM_REQUESTS} classify requests across "
+              f"{'+'.join(DEVICES)} (tex2D++)")
+    write_result("fleet_scheduler", text)
+    write_bench_json(
+        "fleet_scheduler",
+        {"routing": routing, "fault": fault, "num_requests": NUM_REQUESTS,
+         "fault_spec": FAULT},
+        device="jetson-agx-xavier+rtx-2080ti", backend="tex2dpp")
+    return routing, fault
+
+
+@pytest.mark.fleet
+@pytest.mark.slow
+def test_fleet_scheduler_bench(benchmark):
+    routing, fault = run_once(benchmark, regenerate)
+
+    # every policy must finish the stream with nothing lost
+    for policy, snap in routing.items():
+        assert snap["completed"] == NUM_REQUESTS, (policy, snap)
+        assert snap["unresolved"] == 0, (policy, snap)
+
+    # cost-model routing strictly beats both baselines on a heterogeneous
+    # fleet: lower makespan == higher throughput for the same stream
+    cost = routing["cost"]["makespan_ms"]
+    assert cost < routing["round-robin"]["makespan_ms"], routing
+    assert cost < routing["random"]["makespan_ms"], routing
+
+    # fault run: one worker crash-faulted, yet all requests complete via
+    # rerouting/degradation and zero futures are lost
+    assert fault["completed"] == NUM_REQUESTS, fault
+    assert fault["unresolved"] == 0 and fault["futures_failed"] == 0, fault
+    assert fault["retries"] > 0, fault
+    assert any(w["breaker_transitions"] > 0 for w in fault["workers"]), fault

@@ -3,7 +3,9 @@
 Thin, scriptable entry points over the library — the commands a downstream
 user reaches for first:
 
-* ``devices``       — list the simulated GPU presets;
+* ``devices``       — list the simulated GPU presets with each one's
+  predicted 3×3 DCN latency (the latency-table number the fleet router
+  and NAS search consume);
 * ``layers``        — per-layer backend comparison (Table II/IV rows);
 * ``end-to-end``    — the Table III trajectory for a device;
 * ``tune``          — autotune the CTA tile for one layer shape;
@@ -16,6 +18,10 @@ user reaches for first:
 * ``conformance``   — cross-backend conformance suite: differential
   oracles, metamorphic invariants and a shrinking fuzzer
   (``run`` generates + checks cases, ``replay`` re-runs a failure JSON);
+* ``fleet``         — heterogeneous fleet scheduler demo: cost-model
+  routing across simulated devices, deadlines, fault injection, circuit
+  breakers and graceful degradation (``run`` serves a request stream,
+  ``plan`` shows the router's per-worker ECT view);
 * ``trace``         — run a model preset under the span tracer and write
   Perfetto-loadable ``trace.json`` + ``metrics.json`` plus the per-layer
   latency table (paper Table II/IV style).
@@ -44,13 +50,25 @@ def _layer_from_arg(text: str) -> LayerConfig:
 
 
 def cmd_devices(args) -> int:
-    """``repro devices`` — list the simulated GPU presets."""
+    """``repro devices`` — list the simulated GPU presets.
+
+    Alongside the hardware columns, each preset gets its predicted 3×3
+    DCN latency for one reference layer shape — the same per-device
+    latency-table path (``deform_latency_ms``) the NAS search and the
+    fleet scheduler's cost-model router consume, so the column is
+    literally the number routing decisions are made from.
+    """
+    from repro.nas.latency_table import deform_latency_ms
+
+    cfg = _layer_from_arg(args.dcn_layer)
     rows = [[s.name, s.num_sms, s.core_clock_ghz, s.dram_bandwidth_gbps,
-             s.tex_cache_kb_per_sm, round(s.peak_gflops / 1000, 2)]
+             s.tex_cache_kb_per_sm, round(s.peak_gflops / 1000, 2),
+             round(deform_latency_ms(cfg, s, backend=args.backend), 3)]
             for s in DEVICES.values()]
     print(format_table(
         ["device", "SMs", "clock (GHz)", "DRAM (GB/s)", "tex $ (KB/SM)",
-         "peak (TFLOP/s)"], rows, title="Simulated GPU presets"))
+         "peak (TFLOP/s)", f"DCN {cfg.label()} (ms)"], rows,
+        title=f"Simulated GPU presets — DCN column on {args.backend}"))
     return 0
 
 
@@ -436,13 +454,119 @@ def cmd_conformance(args) -> int:
     return 0
 
 
+def _build_fleet_from_args(args):
+    """Shared fleet assembly for ``fleet run`` / ``fleet plan``."""
+    from repro.autotune.store import TileStore
+    from repro.fleet import build_fleet
+    from repro.obs import MetricsRegistry, SpanTracer
+
+    model, task_kwargs = _build_task_model(args.arch, args.task,
+                                           args.input_size, args.seed)
+    devices = [d.strip() for d in args.devices.split(",") if d.strip()]
+    store = TileStore(args.store) if getattr(args, "store", None) else None
+    registry = MetricsRegistry()
+    tracer = SpanTracer() if getattr(args, "trace", None) else None
+    sched = build_fleet(
+        model, devices, backend=args.backend, task=args.task,
+        router=args.router, registry=registry, tracer=tracer,
+        faults=list(getattr(args, "fault", None) or ()),
+        tile_store=store, queue_capacity=args.queue_capacity,
+        max_batch_size=args.max_batch, max_attempts=args.max_attempts,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_ms=args.breaker_cooldown,
+        seed=args.seed, **task_kwargs)
+    return sched, registry, tracer
+
+
+def cmd_fleet(args) -> int:
+    """``repro fleet`` — heterogeneous fleet scheduler demo."""
+    import sys as _sys
+
+    import numpy as np
+
+    try:
+        sched, registry, tracer = _build_fleet_from_args(args)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=_sys.stderr)
+        return 1
+    rng = np.random.default_rng(args.seed)
+    image = rng.uniform(0, 1, size=(3, args.input_size, args.input_size)
+                        ).astype(np.float32)
+
+    plan_rows = [[r["worker"], r["device"], r["backend"], r["breaker"],
+                  r["queue_depth"], r["backlog_ms"], r["predicted_ms"],
+                  r["ect_ms"]] for r in sched.explain(image)]
+    print(format_table(
+        ["worker", "device", "backend", "breaker", "queued", "backlog ms",
+         "predicted ms", "ECT ms"], plan_rows,
+        title=f"Fleet routing view — router={sched.router.name}, "
+              f"one {args.input_size}px {args.task} request"))
+    if args.action == "plan":
+        print("\nlowest expected completion time wins; `fleet run` serves "
+              "a full request stream through this router.")
+        return 0
+
+    images = [rng.uniform(0, 1, size=(3, args.input_size, args.input_size)
+                          ).astype(np.float32)
+              for _ in range(args.requests)]
+    futures = [sched.submit(img, deadline_ms=args.deadline) for img in images]
+    sched.drain()
+    sched.close()
+
+    shown = sched.decisions[:args.show_decisions]
+    dec_rows = [[d["request"], d["attempt"], d["sim_ms"],
+                 d["worker"] or "(rejected)",
+                 "  ".join(f"{n}={ms}" for n, ms in d["ect_ms"].items())]
+                for d in shown]
+    print("\n" + format_table(
+        ["req", "try", "sim ms", "routed to", "candidate ECTs (ms)"],
+        dec_rows,
+        title=f"Routing decisions (first {len(shown)} of "
+              f"{len(sched.decisions)})"))
+
+    snap = sched.snapshot()
+    worker_rows = [[w["worker"], w["device"], w["backend"], w["breaker"],
+                    "yes" if w["degraded"] else "no",
+                    snap["completed_by_worker"].get(
+                        w["worker"], 0), w["busy_until_ms"]]
+                   for w in snap["workers"]]
+    print("\n" + format_table(
+        ["worker", "device", "backend", "breaker", "degraded", "completed",
+         "busy until (ms)"], worker_rows, title="Workers after the run"))
+
+    rejected = sum(snap["rejected_by_reason"].values())
+    print(f"\n{snap['submitted']} submitted: {snap['completed']} completed, "
+          f"{rejected} rejected {snap['rejected_by_reason']}, "
+          f"{snap['retries']} retries; makespan {snap['makespan_ms']} ms "
+          f"simulated")
+    unresolved = len(sched.unresolved())
+    resolved = sum(1 for f in futures if f.done())
+    print(f"futures audit: {len(futures)} submitted, {resolved} resolved, "
+          f"{unresolved} unresolved")
+    if tracer is not None:
+        tracer.write(args.trace)
+        print(f"wrote Chrome trace to {args.trace} "
+              f"({tracer.num_events} events)")
+    if args.metrics_out:
+        registry.write(args.metrics_out)
+        print(f"wrote metrics registry to {args.metrics_out}")
+    return 0 if unresolved == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
         prog="repro", description="DEFCON reproduction command line")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("devices", help="list simulated GPU presets")
+    p = sub.add_parser(
+        "devices", help="list simulated GPU presets with DCN latency")
+    p.add_argument("--dcn-layer", default="128,128,69,69",
+                   help="CIN,COUT,H,W[,STRIDE] for the predicted 3x3 DCN "
+                        "latency column (default: 128,128,69,69)")
+    p.add_argument("--backend", default="tex2dpp",
+                   choices=["pytorch", "tex2d", "tex2dpp"],
+                   help="backend for the DCN latency column")
 
     p = sub.add_parser("layers", help="per-layer backend comparison")
     p.add_argument("--device", default="xavier")
@@ -559,6 +683,51 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["flip-bilinear", "drop-quantization"],
                     help="replay under the same injected fault")
 
+    p = sub.add_parser(
+        "fleet", help="heterogeneous fleet scheduler (docs/fleet.md)")
+    fleet_sub = p.add_subparsers(dest="action", required=True)
+    fleet_common = argparse.ArgumentParser(add_help=False)
+    fleet_common.add_argument("--devices", default="xavier,2080ti",
+                              help="comma-separated device presets, one "
+                                   "worker each (default: xavier,2080ti)")
+    fleet_common.add_argument("--backend", default="tex2dpp",
+                              choices=["pytorch", "tex2d", "tex2dpp"])
+    fleet_common.add_argument("--router", default="cost",
+                              choices=["cost", "round-robin", "random"])
+    fleet_common.add_argument("--arch", default="r50s")
+    fleet_common.add_argument("--task", default="classify",
+                              choices=["classify", "detect"])
+    fleet_common.add_argument("--input-size", type=int, default=32)
+    fleet_common.add_argument("--max-batch", type=int, default=4)
+    fleet_common.add_argument("--queue-capacity", type=int, default=16)
+    fleet_common.add_argument("--max-attempts", type=int, default=3)
+    fleet_common.add_argument("--breaker-threshold", type=int, default=3)
+    fleet_common.add_argument("--breaker-cooldown", type=float, default=50.0,
+                              metavar="MS")
+    fleet_common.add_argument("--seed", type=int, default=0)
+    fr = fleet_sub.add_parser(
+        "run", parents=[fleet_common],
+        help="serve a request stream across the fleet")
+    fr.add_argument("--requests", type=int, default=8)
+    fr.add_argument("--deadline", type=float, default=None, metavar="MS",
+                    help="per-request deadline in simulated ms "
+                         "(default: none)")
+    fr.add_argument("--fault", action="append", default=None,
+                    metavar="WORKER=KIND[:START-END][:xFACTOR]",
+                    help="inject a fault (kinds: crash, latency, wedge; "
+                         "times in sim ms); repeatable. Workers are named "
+                         "w<i>-<device>, e.g. w1-rtx-2080ti=crash:0-20")
+    fr.add_argument("--store", default=None,
+                    help="tile-store path for per-device warm start")
+    fr.add_argument("--show-decisions", type=int, default=12)
+    fr.add_argument("--trace", default=None, metavar="PATH",
+                    help="also export a Chrome trace JSON of the run")
+    fr.add_argument("--metrics-out", default=None, metavar="PATH",
+                    help="also export the metrics registry as JSON")
+    fleet_sub.add_parser(
+        "plan", parents=[fleet_common],
+        help="show the router's per-worker ECT view without serving")
+
     p = sub.add_parser("latency-table", help="build the NAS t(w_n) table")
     p.add_argument("--device", default="xavier")
     p.add_argument("--arch", default="r101s")
@@ -583,6 +752,7 @@ COMMANDS = {
     "tiles": cmd_tiles,
     "trace": cmd_trace,
     "conformance": cmd_conformance,
+    "fleet": cmd_fleet,
 }
 
 

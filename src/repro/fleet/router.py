@@ -1,0 +1,161 @@
+"""Routing policies: cost-model, round-robin and random placement.
+
+The cost-model router operationalises the paper's per-device latency
+model at serving time: for every candidate worker it computes an
+
+    expected completion time (ECT)
+        = current backlog (busy device time still owed + predicted
+          service time of everything already queued)
+        + predicted service time of the new request on *that* device
+
+and places the request on the worker with the smallest ECT (ties broken
+by worker name, so decisions are deterministic).  Predicted service
+times come from :class:`EngineCostModel`, which walks the model's
+deformable sites through the same gpusim cost path the NAS latency table
+(Eq. 6) uses — per device, per backend, per geometry — and memoises each
+(shape, batch) query.
+
+Round-robin and random placement are the baselines the fleet bench
+compares against; on a heterogeneous fleet they waste the fast device by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: predicted service milliseconds for (image shape, batch size)
+Predictor = Callable[[Tuple[int, ...], int], float]
+
+
+class EngineCostModel:
+    """Predict per-device deformable latency for a DefconEngine's model.
+
+    For every deformable site of the engine's model (the same candidate
+    sites the autotuner walks) the predictor runs the gpusim latency path
+    — :func:`repro.nas.latency_table.deform_latency_ms` — on this
+    worker's device and backend, scaling the nominal site geometry to the
+    request's image extent.  Results are memoised per (shape, batch), so
+    steady-state routing costs a dict lookup.
+    """
+
+    def __init__(self, engine, backend: Optional[str] = None):
+        from repro.deform.layers import DeformConv2d
+
+        self.spec = engine.spec
+        self.backend = backend if backend is not None else engine.backend
+        model = engine.model
+        backbone = getattr(model, "backbone", None)
+        self._sites = []
+        if backbone is not None and hasattr(backbone, "candidate_sites"):
+            for spec_site, mod in backbone.candidate_sites():
+                if isinstance(mod, DeformConv2d):
+                    self._sites.append(spec_site.layer_config())
+        self._nominal = getattr(model, "input_size",
+                                getattr(backbone, "input_size", None))
+        self._cache: Dict[Tuple[Tuple[int, ...], int], float] = {}
+
+    def __call__(self, shape: Tuple[int, ...], batch: int = 1) -> float:
+        from repro.nas.latency_table import deform_latency_ms
+
+        key = (tuple(shape), int(batch))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if not self._sites:
+            # no deformable layers to model — fall back to a constant so
+            # ECT still reflects queue depth
+            ms = float(batch)
+        else:
+            scale = 1.0
+            if self._nominal and len(shape) == 3:
+                scale = shape[-1] / float(self._nominal)
+            ms = 0.0
+            for cfg in self._sites:
+                scaled = replace(
+                    cfg,
+                    height=max(4, int(round(cfg.height * scale))),
+                    width=max(4, int(round(cfg.width * scale))),
+                    batch=batch)
+                ms += deform_latency_ms(scaled, self.spec,
+                                        backend=self.backend)
+        self._cache[key] = ms
+        return ms
+
+
+class Router:
+    """Pick a worker for one request among the routable candidates."""
+
+    name = "base"
+
+    def choose(self, candidates: Sequence["FleetWorker"],  # noqa: F821
+               shape: Tuple[int, ...], now_ms: float):
+        raise NotImplementedError
+
+    def ect_table(self, candidates, shape: Tuple[int, ...],
+                  now_ms: float) -> Dict[str, float]:
+        """Expected completion time per candidate (for observability —
+        every policy records it so routing decisions stay inspectable)."""
+        return {w.name: w.estimated_completion_ms(shape, now_ms)
+                for w in candidates}
+
+
+class CostModelRouter(Router):
+    """Lowest expected completion time wins (ties by worker name)."""
+
+    name = "cost"
+
+    def choose(self, candidates, shape, now_ms):
+        return min(candidates,
+                   key=lambda w: (w.estimated_completion_ms(shape, now_ms),
+                                  w.name))
+
+
+class RoundRobinRouter(Router):
+    """Cycle through workers by name, skipping unroutable ones."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._next = 0
+
+    def choose(self, candidates, shape, now_ms):
+        ordered = sorted(candidates, key=lambda w: w.name)
+        worker = ordered[self._next % len(ordered)]
+        self._next += 1
+        return worker
+
+
+class RandomRouter(Router):
+    """Seeded uniform placement (deterministic for a fixed seed)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def choose(self, candidates, shape, now_ms):
+        ordered = sorted(candidates, key=lambda w: w.name)
+        return ordered[int(self._rng.integers(len(ordered)))]
+
+
+def make_router(policy, seed: int = 0) -> Router:
+    """Resolve a policy name (or pass a Router through unchanged)."""
+    if isinstance(policy, Router):
+        return policy
+    table = {
+        "cost": CostModelRouter,
+        "round-robin": RoundRobinRouter,
+        "roundrobin": RoundRobinRouter,
+        "random": lambda: RandomRouter(seed=seed),
+    }
+    try:
+        factory = table[str(policy)]
+    except KeyError:
+        raise ValueError(f"unknown routing policy {policy!r}; choose from "
+                         f"('cost', 'round-robin', 'random')") from None
+    return factory()

@@ -1,0 +1,407 @@
+"""FleetScheduler — cost-model routing across heterogeneous workers.
+
+The fleet is a **synchronous event-driven simulation** on a
+:class:`SimClock` (milliseconds): each :meth:`FleetScheduler.step` picks
+the non-idle worker whose next batch would start earliest, advances the
+clock to that start time, sheds expired requests, serves one EDF batch
+and charges the worker's virtual device timeline with the simulated
+batch latency.  No scheduler thread exists, which is what makes routing
+decisions, retries, breaker walks and every metric bit-stable for a
+fixed seed — the acceptance criterion for the fleet's determinism test.
+
+Request lifecycle (every future *always* resolves):
+
+``submit()`` → route (cost model / round-robin / random) → bounded EDF
+queue → serve (primary engine, half-open probe, or pytorch fallback
+while degraded) → ``future.set_result`` — or, on engine failure,
+retry-with-rerouting away from the failed worker until ``max_attempts``,
+after which the future carries the original error; admission-control,
+deadline and shutdown drops carry an explicit
+:class:`~repro.fleet.queueing.FleetRejection`.
+
+:func:`build_fleet` assembles the real thing: one
+:class:`~repro.pipeline.engine.DefconEngine` per device preset (own plan
+cache, optional tile-store warm start per device) with a reference
+pytorch-backend fallback for graceful degradation.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.fleet.breaker import CircuitBreaker
+from repro.fleet.faults import FaultInjector, FaultSpec, parse_fault
+from repro.fleet.queueing import (REASON_CLOSED, REASON_EXPIRED,
+                                  REASON_NO_WORKER, REASON_QUEUE_FULL,
+                                  REASON_RETRIES, FleetRejection,
+                                  FleetRequest)
+from repro.fleet.router import Router, make_router
+from repro.fleet.worker import FleetWorker
+from repro.obs.registry import MetricsRegistry
+
+
+class SimClock:
+    """Monotonic simulated time in milliseconds."""
+
+    def __init__(self, start_ms: float = 0.0):
+        self.now_ms = float(start_ms)
+
+    def advance_to(self, t_ms: float) -> None:
+        if t_ms > self.now_ms:
+            self.now_ms = float(t_ms)
+
+    def advance(self, dt_ms: float) -> None:
+        if dt_ms < 0:
+            raise ValueError("time only moves forward")
+        self.now_ms += dt_ms
+
+    def __repr__(self) -> str:
+        return f"SimClock({self.now_ms:.3f}ms)"
+
+
+class FleetScheduler:
+    """Route requests across workers, serve them, survive failures."""
+
+    def __init__(self, workers: Sequence[FleetWorker],
+                 router: Union[str, Router] = "cost", *,
+                 clock: Optional[SimClock] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer=None, max_attempts: int = 3, seed: int = 0):
+        if not workers:
+            raise ValueError("a fleet needs at least one worker")
+        names = [w.name for w in workers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate worker names: {names}")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.workers: List[FleetWorker] = list(workers)
+        self.router = make_router(router, seed=seed)
+        self.clock = clock if clock is not None else SimClock()
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self.tracer = tracer
+        self.max_attempts = max_attempts
+        #: every routing decision, in order — the ``repro fleet plan`` view
+        self.decisions: List[dict] = []
+        #: every request ever submitted (futures audited by tests/bench)
+        self.requests: List[FleetRequest] = []
+        self._next_id = 0
+        self._closed = False
+
+        for w in self.workers:
+            if w._batches is None:
+                w.bind_registry(self.registry)
+        self._submitted = self.registry.counter(
+            "fleet_requests_submitted", help="requests offered to the fleet")
+        self._completed = self.registry.counter(
+            "fleet_requests_completed",
+            help="requests resolved with a result, by serving worker")
+        self._rejected = self.registry.counter(
+            "fleet_requests_rejected",
+            help="requests resolved with an explicit rejection, by reason")
+        self._retried = self.registry.counter(
+            "fleet_requests_retried",
+            help="failed requests rerouted for another attempt, by the "
+                 "worker that failed them")
+
+    # ------------------------------------------------------------------
+    # submission + routing
+    # ------------------------------------------------------------------
+    def submit(self, image: np.ndarray,
+               deadline_ms: Optional[float] = None) -> Future:
+        """Offer one (C, H, W) image; ``deadline_ms`` is relative to now.
+
+        Returns a future that always resolves: a task result, the
+        original engine error (retries exhausted), or a
+        :class:`FleetRejection` naming why the fleet dropped it.
+        """
+        if self._closed:
+            raise FleetRejection(REASON_CLOSED, "fleet is closed")
+        img = np.asarray(image, dtype=np.float32)
+        if img.ndim != 3:
+            raise ValueError(f"expected one (C, H, W) image, got shape "
+                             f"{img.shape}")
+        now = self.clock.now_ms
+        deadline = now + float(deadline_ms) if deadline_ms is not None \
+            else None
+        req = FleetRequest(self._next_id, img, now, deadline)
+        self._next_id += 1
+        self.requests.append(req)
+        self._submitted.inc()
+
+        worker, ects = self._select(req.shape, now, frozenset())
+        self._record_decision(req, worker, ects, now)
+        if worker is None:
+            routable = any(w.routable(now) for w in self.workers)
+            self._reject(req, REASON_QUEUE_FULL if routable
+                         else REASON_NO_WORKER,
+                         "all routable queues at capacity" if routable
+                         else "no worker is routable")
+        else:
+            self._enqueue(worker, req)
+        return req.future
+
+    def _select(self, shape: Tuple[int, ...], now: float,
+                exclude: FrozenSet[str]):
+        candidates = [w for w in self.workers
+                      if w.name not in exclude and w.routable(now)
+                      and not w.queue.full]
+        if not candidates:
+            return None, {}
+        worker = self.router.choose(candidates, shape, now)
+        return worker, self.router.ect_table(candidates, shape, now)
+
+    def _record_decision(self, req: FleetRequest,
+                         worker: Optional[FleetWorker],
+                         ects: Dict[str, float], now: float) -> None:
+        self.decisions.append({
+            "request": req.id,
+            "attempt": req.attempts,
+            "sim_ms": round(now, 3),
+            "policy": self.router.name,
+            "worker": worker.name if worker is not None else None,
+            "ect_ms": {name: round(ms, 3)
+                       for name, ms in sorted(ects.items())},
+        })
+
+    def _enqueue(self, worker: FleetWorker, req: FleetRequest) -> None:
+        try:
+            worker.enqueue(req)
+        except FleetRejection as exc:       # defensive: capacity raced away
+            self._reject(req, exc.reason, exc.detail)
+
+    def _reject(self, req: FleetRequest, reason: str,
+                detail: str = "") -> None:
+        if not req.future.done():
+            req.future.set_exception(FleetRejection(reason, detail))
+        self._rejected.inc(reason=reason)
+
+    # ------------------------------------------------------------------
+    # the simulation loop
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        return sum(len(w.queue) for w in self.workers)
+
+    def step(self) -> bool:
+        """Serve one batch on the worker that can start earliest.
+
+        Returns False when every queue is empty (nothing to simulate).
+        """
+        busy = [w for w in self.workers if len(w.queue)]
+        if not busy:
+            return False
+        now = self.clock.now_ms
+        worker = min(busy, key=lambda w: (max(w.busy_until_ms, now), w.name))
+        start = max(worker.busy_until_ms, now)
+        self.clock.advance_to(start)
+
+        for r in worker.queue.shed_expired(start):
+            self._reject(r, REASON_EXPIRED,
+                         f"deadline {r.deadline_ms:.1f}ms passed at "
+                         f"{start:.1f}ms while queued on {worker.name}")
+        worker._set_depth()
+        if not len(worker.queue):
+            return True
+
+        batch = worker.queue.pop_batch(worker.max_batch_size)
+        outcome = worker.serve_batch(batch, start)
+        worker.busy_until_ms = start + outcome.sim_ms
+        done = worker.busy_until_ms
+        if outcome.ok:
+            for r, res in zip(batch, outcome.results):
+                if not r.future.done():
+                    r.future.set_result(res)
+                self._completed.inc(worker=worker.name)
+        else:
+            for r in batch:
+                self._handle_failure(r, worker, outcome.error, done)
+        return True
+
+    def drain(self, max_steps: int = 100_000) -> int:
+        """Run the simulation until every queue is empty; returns steps."""
+        steps = 0
+        while self.step():
+            steps += 1
+            if steps >= max_steps:
+                raise RuntimeError(
+                    f"fleet did not drain within {max_steps} steps "
+                    f"({self.pending()} requests still queued)")
+        return steps
+
+    def _handle_failure(self, req: FleetRequest, worker: FleetWorker,
+                        error: BaseException, now: float) -> None:
+        """Retry-with-rerouting after a failed batch."""
+        req.attempts += 1
+        req.failed_on.add(worker.name)
+        if req.expired(now):
+            self._reject(req, REASON_EXPIRED,
+                         f"expired during failed attempt on {worker.name}")
+            return
+        if req.attempts >= self.max_attempts:
+            # terminal: surface the real engine error, count it as a
+            # retries_exhausted drop
+            if not req.future.done():
+                req.future.set_exception(error)
+            self._rejected.inc(reason=REASON_RETRIES)
+            return
+        target, ects = self._select(req.shape, now,
+                                    frozenset(req.failed_on))
+        if target is None:
+            # nobody else can take it — returning to a worker that failed
+            # it is still better than dropping (it may now be degraded to
+            # its fallback, or past its breaker cooldown)
+            target, ects = self._select(req.shape, now, frozenset())
+        self._record_decision(req, target, ects, now)
+        if target is None:
+            self._reject(req, REASON_NO_WORKER,
+                         f"no worker available after failure: {error}")
+            return
+        self._retried.inc(worker=worker.name)
+        self._enqueue(target, req)
+
+    # ------------------------------------------------------------------
+    # introspection + shutdown
+    # ------------------------------------------------------------------
+    def explain(self, image: np.ndarray) -> List[dict]:
+        """Per-worker routing view for one image — what would the router
+        see *right now*?  (Does not enqueue anything.)"""
+        img = np.asarray(image, dtype=np.float32)
+        shape = tuple(img.shape)
+        now = self.clock.now_ms
+        rows = []
+        for w in self.workers:
+            rows.append({
+                "worker": w.name,
+                "device": w.spec.name if w.spec is not None else "?",
+                "backend": w.backend or "?",
+                "breaker": w.breaker.state,
+                "degraded": w.degraded,
+                "routable": w.routable(now),
+                "queue_depth": len(w.queue),
+                "backlog_ms": round(w.backlog_ms(now), 3),
+                "predicted_ms": round(w.predict_ms(shape, 1), 3),
+                "ect_ms": round(w.estimated_completion_ms(shape, now), 3),
+            })
+        return sorted(rows, key=lambda r: (r["ect_ms"], r["worker"]))
+
+    def _per_label(self, counter, label: str) -> Dict[str, float]:
+        return {labels.get(label, ""): counter.value(**labels)
+                for labels in counter.label_sets()}
+
+    def snapshot(self) -> dict:
+        """Deterministic summary of the run (bench + tests read this)."""
+        completed = self._per_label(self._completed, "worker")
+        rejected = self._per_label(self._rejected, "reason")
+        retried = self._per_label(self._retried, "worker")
+        return {
+            "sim_ms": round(self.clock.now_ms, 3),
+            # makespan: when the last worker's device goes idle — the
+            # denominator for fleet throughput
+            "makespan_ms": round(max(w.busy_until_ms
+                                     for w in self.workers), 3),
+            "router": self.router.name,
+            "submitted": int(self._submitted.value()),
+            "completed": int(sum(completed.values())),
+            "completed_by_worker": {k: int(v)
+                                    for k, v in sorted(completed.items())},
+            "rejected_by_reason": {k: int(v)
+                                   for k, v in sorted(rejected.items())},
+            "retries": int(sum(retried.values())),
+            "retried_by_worker": {k: int(v)
+                                  for k, v in sorted(retried.items())},
+            "workers": [{
+                "worker": w.name,
+                "device": w.spec.name if w.spec is not None else "?",
+                "backend": w.backend or "?",
+                "breaker": w.breaker.state,
+                "breaker_transitions": len(w.breaker.transitions),
+                "degraded": w.degraded,
+                "busy_until_ms": round(w.busy_until_ms, 3),
+                "queue_depth": len(w.queue),
+            } for w in self.workers],
+        }
+
+    def unresolved(self) -> List[FleetRequest]:
+        """Requests whose future has not resolved (must be [] after
+        drain + close — the zero-lost-futures audit)."""
+        return [r for r in self.requests if not r.future.done()]
+
+    def close(self) -> None:
+        """Reject everything still queued and shut the workers down."""
+        if self._closed:
+            return
+        self._closed = True
+        for w in self.workers:
+            for r in w.queue.drain():
+                self._reject(r, REASON_CLOSED, "fleet closed while queued")
+            w._set_depth()
+            w.batcher.close(flush=False)
+            if w._fallback_batcher is not None:
+                w._fallback_batcher.close(flush=False)
+
+    def __enter__(self) -> "FleetScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def build_fleet(model, devices: Sequence[Union[str, object]] = ("xavier",
+                                                                "2080ti"),
+                *, backend: str = "tex2dpp", task: str = "classify",
+                router: Union[str, Router] = "cost",
+                registry: Optional[MetricsRegistry] = None, tracer=None,
+                faults: Sequence[Union[str, FaultSpec]] = (),
+                tile_store=None, autotune: bool = False,
+                queue_capacity: int = 16, max_batch_size: int = 4,
+                max_attempts: int = 3, degrade: bool = True,
+                breaker_threshold: int = 3, breaker_cooldown_ms: float = 50.0,
+                wedge_timeout_ms: float = 100.0, seed: int = 0,
+                clock: Optional[SimClock] = None,
+                **task_kwargs) -> FleetScheduler:
+    """Assemble a heterogeneous fleet over real DefconEngines.
+
+    One engine per device preset (name or
+    :class:`~repro.gpusim.device.DeviceSpec`), each warm-startable from a
+    shared ``tile_store`` (entries are keyed per device, so every worker
+    loads its own tuned tiles) and — unless ``degrade=False`` or the
+    fleet already runs the reference backend — paired with a lazily built
+    pytorch-backend fallback engine for graceful degradation.  Workers
+    are named ``w{i}-{device}`` (the names fault specs address).
+    """
+    from repro.gpusim.device import get_device
+    from repro.pipeline.engine import DefconEngine
+
+    registry = registry if registry is not None else MetricsRegistry()
+    specs = [get_device(d) if isinstance(d, str) else d for d in devices]
+    fault_specs = [parse_fault(f) if isinstance(f, str) else f
+                   for f in faults]
+    injector = FaultInjector(fault_specs, registry=registry) \
+        if fault_specs else None
+
+    workers = []
+    for i, spec in enumerate(specs):
+        name = f"w{i}-{spec.name}"
+        engine = DefconEngine(model, spec, backend=backend,
+                              autotune=autotune or tile_store is not None,
+                              tile_store=tile_store, tracer=tracer)
+        fallback_factory = None
+        if degrade and backend != "pytorch":
+            fallback_factory = (
+                lambda spec=spec: DefconEngine(model, spec,
+                                               backend="pytorch"))
+        breaker = CircuitBreaker(name, failure_threshold=breaker_threshold,
+                                 cooldown_ms=breaker_cooldown_ms,
+                                 registry=registry)
+        workers.append(FleetWorker(
+            name, engine, task=task, max_batch_size=max_batch_size,
+            queue_capacity=queue_capacity, breaker=breaker,
+            injector=injector, registry=registry, tracer=tracer,
+            fallback_factory=fallback_factory,
+            wedge_timeout_ms=wedge_timeout_ms, **task_kwargs))
+    return FleetScheduler(workers, router=router, clock=clock,
+                          registry=registry, tracer=tracer,
+                          max_attempts=max_attempts, seed=seed)

@@ -14,7 +14,7 @@ per-stage latency observable on a shared
 ``docs/observability.md``.
 """
 
-from repro.serve.batcher import RequestBatcher
+from repro.serve.batcher import BatcherClosedError, RequestBatcher
 from repro.serve.metrics import ServingMetrics
 
-__all__ = ["RequestBatcher", "ServingMetrics"]
+__all__ = ["BatcherClosedError", "RequestBatcher", "ServingMetrics"]

@@ -6,11 +6,15 @@ real one — amortises its fixed per-launch overhead over the batch
 dimension, so serving them one by one wastes most of the device.  The
 batcher coalesces requests into batched ``detect`` / ``classify`` calls:
 
-* a batch closes when it reaches ``max_batch_size`` **or** when the oldest
-  request in it has waited ``max_wait_s`` (the classic size-or-deadline
-  policy);
-* only same-shaped images share a batch (they must stack into one tensor);
-  a shape change closes the current batch and starts the next;
+* pending requests are bucketed **per image shape** (only same-shaped
+  images can stack into one tensor), so a stream of interleaved shapes
+  does not suffer head-of-line blocking: a differently-shaped arrival
+  joins its own bucket instead of force-closing the current batch;
+* within a bucket the classic size-or-deadline policy applies: a batch
+  closes when its bucket reaches ``max_batch_size`` **or** when the
+  oldest request in any bucket has waited ``max_wait_s``;
+* buckets are served oldest-request-first, so cross-shape fairness is
+  FIFO in submission order;
 * every request gets a :class:`concurrent.futures.Future`, so callers can
   block, poll, or fan out; engine failures propagate to exactly the
   futures of the failed batch.
@@ -19,20 +23,31 @@ The batching core is synchronous and deterministic — ``flush()`` drains the
 queue on the caller's thread, which is what the tests and throughput bench
 use.  ``start()`` adds a daemon worker thread for live serving, where the
 ``max_wait_s`` deadline actually matters.
+
+Shutdown is fail-fast: once :meth:`close` runs, every still-queued request
+is either served (``flush=True``, the default) or has its future resolved
+with :class:`BatcherClosedError`; later ``submit()`` / ``start()`` calls
+raise :class:`BatcherClosedError` immediately instead of silently
+enqueueing work no thread will ever drain.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.serve.metrics import ServingMetrics
+
+
+class BatcherClosedError(RuntimeError):
+    """Raised by ``submit()``/``start()`` after ``close()``, and set on the
+    futures of requests the batcher discarded instead of serving."""
 
 
 @dataclass
@@ -61,7 +76,7 @@ class RequestBatcher:
         :class:`~repro.data.coco_map.Detection` for that image, with
         ``image_id`` rewritten to the request id.
     max_batch_size / max_wait_s:
-        The size-or-deadline batching policy.
+        The size-or-deadline batching policy (applied per shape bucket).
     """
 
     def __init__(self, engine, task: str = "classify",
@@ -87,12 +102,16 @@ class RequestBatcher:
         self.tracer = tracer
         self.task_kwargs = task_kwargs
         self._clock = clock
-        self._pending: deque = deque()
+        #: per-shape FIFO sub-queues; insertion order of the dict is the
+        #: order buckets first appeared, but service order is decided by
+        #: the oldest request id across bucket heads
+        self._buckets: "OrderedDict[Tuple[int, ...], deque]" = OrderedDict()
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._next_id = 0
         self._worker: Optional[threading.Thread] = None
         self._stopping = False
+        self._closed = False
 
     # ------------------------------------------------------------------
     # submission
@@ -105,12 +124,18 @@ class RequestBatcher:
                 f"submit() takes one (C, H, W) image, got shape "
                 f"{image.shape}; batching is the batcher's job")
         with self._lock:
-            if self._stopping:
-                raise RuntimeError("batcher is closed")
+            if self._closed or self._stopping:
+                raise BatcherClosedError(
+                    "batcher is closed; submit() after close() would "
+                    "enqueue work no thread will drain")
             req = _Request(id=self._next_id, image=image,
                            submit_t=self._clock())
             self._next_id += 1
-            self._pending.append(req)
+            bucket = self._buckets.get(image.shape)
+            if bucket is None:
+                bucket = deque()
+                self._buckets[image.shape] = bucket
+            bucket.append(req)
             self.metrics.record_submit()
             self._wakeup.notify()
         return req.future
@@ -128,16 +153,33 @@ class RequestBatcher:
     # ------------------------------------------------------------------
     # batching core (synchronous, deterministic)
     # ------------------------------------------------------------------
+    def _pending_count_locked(self) -> int:
+        return sum(len(b) for b in self._buckets.values())
+
+    def _oldest_bucket_locked(self) -> Optional[Tuple[int, ...]]:
+        """The shape whose head request was submitted first (lowest id)."""
+        oldest_shape = None
+        oldest_id = None
+        for shape, bucket in self._buckets.items():
+            if bucket and (oldest_id is None or bucket[0].id < oldest_id):
+                oldest_id = bucket[0].id
+                oldest_shape = shape
+        return oldest_shape
+
     def _take_batch(self) -> List[_Request]:
-        """Pop the next batch: a same-shape run capped at max_batch_size."""
+        """Pop the next batch: the oldest bucket's head run, capped at
+        max_batch_size.  Requests of other shapes stay queued in their own
+        buckets (no head-of-line blocking across shapes)."""
         with self._lock:
-            if not self._pending:
+            shape = self._oldest_bucket_locked()
+            if shape is None:
                 return []
-            batch = [self._pending.popleft()]
-            shape = batch[0].image.shape
-            while (self._pending and len(batch) < self.max_batch_size
-                   and self._pending[0].image.shape == shape):
-                batch.append(self._pending.popleft())
+            bucket = self._buckets[shape]
+            batch = [bucket.popleft()]
+            while bucket and len(batch) < self.max_batch_size:
+                batch.append(bucket.popleft())
+            if not bucket:
+                del self._buckets[shape]
             return batch
 
     def _serve_batch(self, batch: List[_Request]) -> None:
@@ -165,7 +207,7 @@ class RequestBatcher:
             for r in batch:
                 r.future.set_exception(exc)
             self.metrics.record_batch(len(batch), waits,
-                                      self._clock() - t0, 0.0)
+                                      self._clock() - t0, 0.0, failed=True)
             return
         sim_ms = self._engine_sim_ms() - sim0
         self.metrics.record_batch(len(batch), waits, self._clock() - t0,
@@ -204,6 +246,10 @@ class RequestBatcher:
     # ------------------------------------------------------------------
     def start(self) -> "RequestBatcher":
         """Run a daemon worker that applies the size-or-deadline policy."""
+        with self._lock:
+            if self._closed:
+                raise BatcherClosedError("batcher is closed; create a new "
+                                         "one instead of restarting")
         if self._worker is not None:
             return self
         self._stopping = False
@@ -215,17 +261,20 @@ class RequestBatcher:
     def _run(self) -> None:
         while True:
             with self._lock:
-                while not self._pending and not self._stopping:
+                while not self._pending_count_locked() and not self._stopping:
                     self._wakeup.wait(timeout=0.05)
-                if self._stopping and not self._pending:
+                if self._stopping and not self._pending_count_locked():
                     return
-                oldest = self._pending[0].submit_t
-            # Coalesce: wait until the batch is full or the oldest request's
-            # deadline passes (closing immediately when told to stop).
+                shape = self._oldest_bucket_locked()
+                oldest = self._buckets[shape][0].submit_t
+            # Coalesce: wait until some bucket is full or the oldest
+            # request's deadline passes (closing immediately when told to
+            # stop).
             deadline = oldest + self.max_wait_s
             while not self._stopping:
                 with self._lock:
-                    full = len(self._pending) >= self.max_batch_size
+                    full = any(len(b) >= self.max_batch_size
+                               for b in self._buckets.values())
                 if full or self._clock() >= deadline:
                     break
                 time.sleep(min(0.001, max(0.0, deadline - self._clock())))
@@ -234,10 +283,17 @@ class RequestBatcher:
                 self._serve_batch(batch)
 
     def close(self, flush: bool = True) -> None:
-        """Stop the worker; by default serve whatever is still queued."""
+        """Stop the worker and seal the batcher (idempotent).
+
+        ``flush=True`` (default) serves whatever is still queued on the
+        caller's thread; ``flush=False`` resolves every in-flight future
+        with :class:`BatcherClosedError` — either way no future is left
+        dangling, and subsequent ``submit()``/``start()`` raise.
+        """
         worker = self._worker
         with self._lock:
             self._stopping = True
+            self._closed = True
             self._wakeup.notify_all()
         if worker is not None:
             worker.join(timeout=5.0)
@@ -250,8 +306,8 @@ class RequestBatcher:
                 if not batch:
                     break
                 for r in batch:
-                    r.future.set_exception(
-                        RuntimeError("batcher closed before serving"))
+                    r.future.set_exception(BatcherClosedError(
+                        "batcher closed before serving this request"))
 
     def __enter__(self) -> "RequestBatcher":
         return self.start()

@@ -46,6 +46,11 @@ class ServingMetrics:
             "serve_requests_submitted", help="requests accepted by submit()")
         self._completed = r.counter(
             "serve_requests_completed", help="requests whose batch ran")
+        self._failed = r.counter(
+            "serve_requests_failed",
+            help="requests whose batch raised in the engine")
+        self._batch_failures = r.counter(
+            "serve_batch_failures", help="batches that raised in the engine")
         self._depth = r.gauge(
             "serve_queue_depth", help="requests currently queued")
         self._peak_depth = r.gauge(
@@ -72,15 +77,23 @@ class ServingMetrics:
             self._peak_depth.set_max(self._depth.value())
 
     def record_batch(self, size: int, queue_waits_s: List[float],
-                     infer_wall_s: float, sim_ms: float) -> None:
+                     infer_wall_s: float, sim_ms: float,
+                     failed: bool = False) -> None:
+        """Record one attempted batch; ``failed=True`` when the engine call
+        raised (the batch's requests count as failures, not completions)."""
         with self._lock:
-            self._completed.inc(size)
             self._depth.dec(size)
-            self._batches.inc(size=size)
+            if failed:
+                self._failed.inc(size)
+                self._batch_failures.inc()
+            else:
+                self._completed.inc(size)
+                self._batches.inc(size=size)
             for wait in queue_waits_s:
                 self._queue_wait.observe(wait)
             self._infer_wall.observe(infer_wall_s)
-            self._sim_ms.observe(sim_ms)
+            if not failed:
+                self._sim_ms.observe(sim_ms)
 
     # ------------------------------------------------------------------
     # reads
@@ -92,6 +105,14 @@ class ServingMetrics:
     @property
     def requests_completed(self) -> int:
         return int(self._completed.value())
+
+    @property
+    def requests_failed(self) -> int:
+        return int(self._failed.value())
+
+    @property
+    def batch_failures(self) -> int:
+        return int(self._batch_failures.value())
 
     @property
     def queue_depth(self) -> int:
@@ -134,6 +155,8 @@ class ServingMetrics:
         return {
             "requests_submitted": self.requests_submitted,
             "requests_completed": completed,
+            "requests_failed": self.requests_failed,
+            "batch_failures": self.batch_failures,
             "queue_depth": self.queue_depth,
             "peak_queue_depth": self.peak_queue_depth,
             "batches": batches,

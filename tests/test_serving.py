@@ -6,7 +6,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.serve import RequestBatcher, ServingMetrics
+from repro.serve import BatcherClosedError, RequestBatcher, ServingMetrics
 
 
 class FakeEngine:
@@ -63,6 +63,31 @@ class TestBatchingCore:
             with pytest.raises(RuntimeError, match="engine exploded"):
                 f.result(timeout=0)
 
+    def test_interleaved_shapes_bucket_without_hol_blocking(self):
+        """A shape change must not force-close the current batch: requests
+        are bucketed per shape, so interleaved shapes still coalesce."""
+        eng = FakeEngine()
+        batcher = RequestBatcher(eng, max_batch_size=4)
+        futures = [batcher.submit(image(1, size=8)),
+                   batcher.submit(image(2, size=16)),
+                   batcher.submit(image(3, size=8)),
+                   batcher.submit(image(4, size=16)),
+                   batcher.submit(image(5, size=8))]
+        batcher.flush()
+        # pre-fix this produced 5 singleton batches; bucketed it is 2
+        assert eng.batch_sizes == [3, 2]
+        assert [f.result() for f in futures] == [1, 2, 3, 4, 5]
+
+    def test_bucket_service_order_is_oldest_request_first(self):
+        eng = FakeEngine()
+        batcher = RequestBatcher(eng, max_batch_size=8)
+        batcher.submit(image(1, size=16))      # bucket 16 arrives first
+        batcher.submit(image(2, size=8))
+        batcher.submit(image(3, size=16))
+        batcher.flush()
+        # the 16-bucket holds the oldest request, so it is served first
+        assert eng.batch_sizes == [2, 1]
+
     def test_rejects_batched_input_and_bad_params(self):
         batcher = RequestBatcher(FakeEngine())
         with pytest.raises(ValueError):
@@ -112,6 +137,86 @@ class TestThreadedServing:
         assert [f.result(timeout=0) for f in futures] == [0, 1, 2]
         with pytest.raises(RuntimeError):
             batcher.submit(image(9))
+
+
+class TestCloseSemantics:
+    def test_submit_after_close_fails_fast_sync_path(self):
+        """Synchronous (never-started) batcher: close() seals it."""
+        batcher = RequestBatcher(FakeEngine(), max_batch_size=4)
+        batcher.close()
+        with pytest.raises(BatcherClosedError):
+            batcher.submit(image(1))
+
+    def test_submit_after_close_fails_fast_threaded_path(self):
+        batcher = RequestBatcher(FakeEngine(), max_batch_size=4).start()
+        batcher.close()
+        with pytest.raises(BatcherClosedError):
+            batcher.submit(image(1))
+
+    def test_start_after_close_raises(self):
+        batcher = RequestBatcher(FakeEngine())
+        batcher.close()
+        with pytest.raises(BatcherClosedError):
+            batcher.start()
+
+    def test_close_without_flush_resolves_in_flight_futures(self):
+        """close(flush=False) must deterministically resolve every queued
+        future with BatcherClosedError rather than abandon it."""
+        eng = FakeEngine()
+        batcher = RequestBatcher(eng, max_batch_size=4)
+        futures = batcher.submit_many([image(i) for i in range(3)])
+        batcher.close(flush=False)
+        for f in futures:
+            assert f.done()
+            with pytest.raises(BatcherClosedError):
+                f.result(timeout=0)
+        assert eng.batch_sizes == []      # nothing was served
+        with pytest.raises(BatcherClosedError):
+            batcher.submit(image(9))
+
+    def test_close_is_idempotent(self):
+        batcher = RequestBatcher(FakeEngine()).start()
+        batcher.submit(image(1))
+        batcher.close()
+        batcher.close()
+        batcher.close(flush=False)
+
+
+class TestThreadedEngineFailure:
+    def test_failed_batch_isolated_and_metrics_count_failure(self):
+        """start() daemon path: exactly the failed batch's futures get the
+        exception, later batches still complete, and ServingMetrics counts
+        the failure."""
+        class FlakyEngine(FakeEngine):
+            def classify(self, images):
+                out = super().classify(images)
+                if (images[:, 0, 0, 0] >= 7).any():
+                    raise RuntimeError("poisoned batch")
+                return out
+
+        metrics = ServingMetrics()
+        eng = FlakyEngine()
+        with RequestBatcher(eng, max_batch_size=2, max_wait_s=0.005,
+                            metrics=metrics) as batcher:
+            # submit in bursts so the poisoned pair forms its own batch
+            good_a = batcher.submit_many([image(1), image(2)])
+            for f in good_a:
+                f.result(timeout=5.0)
+            bad = batcher.submit_many([image(7), image(8)])
+            for f in bad:
+                with pytest.raises(RuntimeError, match="poisoned batch"):
+                    f.result(timeout=5.0)
+            good_b = batcher.submit_many([image(3), image(4)])
+            assert [f.result(timeout=5.0) for f in good_b] == [3, 4]
+        assert [f.result(timeout=0) for f in good_a] == [1, 2]
+        snap = metrics.snapshot()
+        assert snap["requests_failed"] == 2
+        # 1 if [7, 8] coalesced, 2 if the deadline split them — either way
+        # every poisoned batch is counted and nothing else is
+        assert snap["batch_failures"] in (1, 2)
+        assert snap["requests_completed"] == 4
+        assert snap["requests_submitted"] == 6
+        assert snap["queue_depth"] == 0
 
 
 class TestMetrics:
