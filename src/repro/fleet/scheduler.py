@@ -17,7 +17,10 @@ while degraded) → ``future.set_result`` — or, on engine failure,
 retry-with-rerouting away from the failed worker until ``max_attempts``,
 after which the future carries the original error; admission-control,
 deadline and shutdown drops carry an explicit
-:class:`~repro.fleet.queueing.FleetRejection`.
+:class:`~repro.fleet.queueing.FleetRejection`.  Requests queued on a
+worker whose breaker opens with no fallback are rerouted to servable
+workers — or held until the half-open probe when no one else can take
+them — never dispatched into an unservable worker.
 
 :func:`build_fleet` assembles the real thing: one
 :class:`~repro.pipeline.engine.DefconEngine` per device preset (own plan
@@ -106,6 +109,10 @@ class FleetScheduler:
             "fleet_requests_retried",
             help="failed requests rerouted for another attempt, by the "
                  "worker that failed them")
+        self._rerouted = self.registry.counter(
+            "fleet_requests_rerouted",
+            help="queued requests moved off a breaker-pinned worker, by "
+                 "the worker routed away from")
 
     # ------------------------------------------------------------------
     # submission + routing
@@ -185,6 +192,22 @@ class FleetScheduler:
     def pending(self) -> int:
         return sum(len(w.queue) for w in self.workers)
 
+    def _start_ms(self, worker: FleetWorker, now: float) -> float:
+        """When could ``worker`` actually start its next batch?
+
+        Usually when its device goes idle — but a worker whose breaker is
+        open with no fallback can only run again as a half-open probe, so
+        its queue is pinned until the cooldown elapses.  Dispatching to
+        it any earlier would hit serve_batch()'s not-servable guard.
+        """
+        start = max(worker.busy_until_ms, now)
+        b = worker.breaker
+        if b.closed or worker.can_degrade or b.probe_due(start):
+            return start
+        if b.opened_at_ms is not None:
+            return max(start, b.opened_at_ms + b.cooldown_ms)
+        return start
+
     def step(self) -> bool:
         """Serve one batch on the worker that can start earliest.
 
@@ -194,8 +217,15 @@ class FleetScheduler:
         if not busy:
             return False
         now = self.clock.now_ms
-        worker = min(busy, key=lambda w: (max(w.busy_until_ms, now), w.name))
-        start = max(worker.busy_until_ms, now)
+        worker = min(busy, key=lambda w: (self._start_ms(w, now), w.name))
+        start = self._start_ms(worker, now)
+        if start > max(worker.busy_until_ms, now):
+            # breaker-pinned: the queue cannot move before the probe is
+            # due.  First offer the queued requests to workers that could
+            # serve them sooner; only sleep until the probe when nothing
+            # changed.
+            if self._reroute_pinned(worker, now):
+                return True
         self.clock.advance_to(start)
 
         for r in worker.queue.shed_expired(start):
@@ -230,6 +260,39 @@ class FleetScheduler:
                     f"fleet did not drain within {max_steps} steps "
                     f"({self.pending()} requests still queued)")
         return steps
+
+    def _reroute_pinned(self, worker: FleetWorker, now: float) -> bool:
+        """Drain a breaker-pinned worker's queue through the reroute path.
+
+        Requests another worker can take move there; already-expired ones
+        are shed; the rest stay queued for the half-open probe.  Returns
+        True when anything changed (the caller re-plans instead of
+        advancing the clock).
+        """
+        changed = False
+        for r in worker.queue.shed_expired(now):
+            self._reject(r, REASON_EXPIRED,
+                         f"deadline {r.deadline_ms:.1f}ms passed at "
+                         f"{now:.1f}ms while queued on pinned {worker.name}")
+            changed = True
+        kept = []
+        for r in worker.queue.drain():
+            target, ects = self._select(
+                r.shape, now, frozenset({worker.name}) | r.failed_on)
+            if target is None:
+                target, ects = self._select(r.shape, now,
+                                            frozenset({worker.name}))
+            if target is None:
+                kept.append(r)
+                continue
+            self._record_decision(r, target, ects, now)
+            self._rerouted.inc(worker=worker.name)
+            self._enqueue(target, r)
+            changed = True
+        for r in kept:
+            worker.queue.push(r)
+        worker._set_depth()
+        return changed
 
     def _handle_failure(self, req: FleetRequest, worker: FleetWorker,
                         error: BaseException, now: float) -> None:
@@ -296,6 +359,7 @@ class FleetScheduler:
         completed = self._per_label(self._completed, "worker")
         rejected = self._per_label(self._rejected, "reason")
         retried = self._per_label(self._retried, "worker")
+        rerouted = self._per_label(self._rerouted, "worker")
         return {
             "sim_ms": round(self.clock.now_ms, 3),
             # makespan: when the last worker's device goes idle — the
@@ -312,6 +376,8 @@ class FleetScheduler:
             "retries": int(sum(retried.values())),
             "retried_by_worker": {k: int(v)
                                   for k, v in sorted(retried.items())},
+            "rerouted_by_worker": {k: int(v)
+                                   for k, v in sorted(rerouted.items())},
             "workers": [{
                 "worker": w.name,
                 "device": w.spec.name if w.spec is not None else "?",

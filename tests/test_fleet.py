@@ -293,6 +293,81 @@ class TestFleetScheduler:
         assert reg.get("fleet_requests_retried").value(worker="a-fast") \
             == snap["retries"]
 
+    def test_open_breaker_no_fallback_holds_queue_for_probe(self):
+        # Reviewer repro: request already queued on a worker whose
+        # breaker opens with no fallback.  step() must not dispatch into
+        # serve_batch()'s not-servable guard (which crashed drain() and
+        # lost the future) — the queue waits for the half-open probe.
+        inj = FaultInjector([parse_fault("a=crash:0-inf")])
+        a = FleetWorker("a", FakeEngine(), predictor=lambda s, b: 1.0 * b,
+                        max_batch_size=1, injector=inj,
+                        breaker=CircuitBreaker("a", failure_threshold=1,
+                                               cooldown_ms=50.0))
+        sched = FleetScheduler([a], registry=MetricsRegistry(),
+                               max_attempts=2)
+        futs = [sched.submit(IMG), sched.submit(IMG)]
+        sched.drain()                   # must not raise
+        assert not sched.unresolved()
+        for f in futs:
+            assert f.exception() is not None
+        # the second request was held until the probe at 50ms, served as
+        # the half-open probe (which failed and re-opened the breaker)
+        assert a.breaker.state == OPEN
+        assert [(f, t) for _, f, t in a.breaker.transitions] == [
+            (CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, OPEN)]
+        assert sched.clock.now_ms >= 50.0
+
+    def test_pinned_worker_reroutes_queue_to_healthy_worker(self):
+        # Queued work on a breaker-pinned worker moves to a worker that
+        # can serve sooner instead of waiting out the whole cooldown.
+        reg = MetricsRegistry()
+        inj = FaultInjector([parse_fault("a=crash:0-inf")], registry=reg)
+        a = FleetWorker("a", FakeEngine(), predictor=lambda s, b: 1.0 * b,
+                        max_batch_size=1, injector=inj,
+                        breaker=CircuitBreaker("a", failure_threshold=1,
+                                               cooldown_ms=1000.0))
+        b = worker("b", 100.0)          # slow, so cost routing picks a
+        sched = FleetScheduler([a, b], registry=reg, max_attempts=3)
+        futs = [sched.submit(IMG), sched.submit(IMG)]
+        sched.drain()
+        assert not sched.unresolved()
+        assert all(f.result() is not None for f in futs)
+        snap = sched.snapshot()
+        # request 0 failed on a and retried on b; request 1 never ran on
+        # a — it was rerouted off the pinned queue
+        assert snap["completed_by_worker"] == {"b": 2}
+        assert snap["rerouted_by_worker"] == {"a": 1}
+        assert reg.get("fleet_requests_rerouted").value(worker="a") == 1
+        # a attempted exactly one batch (the crash); the rerouted request
+        # never touched it, and the fleet finished long before a's
+        # 1000ms cooldown
+        assert reg.get("fleet_batch_failures").value(worker="a") == 1
+        assert sched.clock.now_ms < 1000.0
+
+    def test_pinned_worker_sheds_expired_before_probe(self):
+        # A deadline that passes while pinned is shed with an explicit
+        # rejection, not served late by the eventual probe.
+        inj = FaultInjector([parse_fault("a=crash:0-inf")])
+        a = FleetWorker("a", FakeEngine(), predictor=lambda s, b: 1.0 * b,
+                        max_batch_size=1, injector=inj,
+                        breaker=CircuitBreaker("a", failure_threshold=1,
+                                               cooldown_ms=50.0))
+        sched = FleetScheduler([a], registry=MetricsRegistry(),
+                               max_attempts=2)
+        crashed = sched.submit(IMG, deadline_ms=5.0)
+        tight = sched.submit(IMG, deadline_ms=10.0)
+        sched.drain()
+        assert not sched.unresolved()
+        assert crashed.exception() is not None
+        exc = tight.exception()
+        assert isinstance(exc, FleetRejection)
+        assert exc.reason == REASON_EXPIRED
+        # only the crashing attempt consumed device time: the expired
+        # request was shed at the probe wake-up, no probe batch ran
+        assert a.busy_until_ms == pytest.approx(a.failure_ms)
+        assert [(f, t) for _, f, t in a.breaker.transitions] == [
+            (CLOSED, OPEN)]
+
     def test_retries_exhausted_surfaces_engine_error(self):
         inj = FaultInjector([parse_fault("a=crash")])
         a = FleetWorker("a", FakeEngine(), predictor=lambda s, b: 1.0,
@@ -437,6 +512,25 @@ class TestRealEngineFleet:
         assert snap["completed_by_worker"]["w1-rtx-2080ti"] \
             >= snap["completed_by_worker"]["w0-jetson-agx-xavier"]
         assert all(f.result() is not None for f in futs)
+
+    def test_build_fleet_no_degrade_survives_open_breaker(self,
+                                                          small_model):
+        # degrade=False + crash: the faulted worker's breaker opens with
+        # no fallback; its queued requests must reroute to the healthy
+        # device instead of crashing drain()
+        rng = np.random.default_rng(0)
+        sched = build_fleet(small_model, ("xavier", "2080ti"),
+                            max_batch_size=1, breaker_threshold=1,
+                            degrade=False,
+                            faults=["w1-rtx-2080ti=crash:0-inf"])
+        futs = [sched.submit(rng.uniform(0, 1, (3, 32, 32)
+                                         ).astype(np.float32))
+                for _ in range(4)]
+        sched.drain()                   # must not raise
+        snap = sched.snapshot()
+        assert snap["completed"] == 4 and not sched.unresolved()
+        assert snap["completed_by_worker"] == {"w0-jetson-agx-xavier": 4}
+        assert all(f.exception() is None for f in futs)
 
     def test_build_fleet_survives_worker_fault(self, small_model):
         rng = np.random.default_rng(0)
