@@ -216,6 +216,12 @@ def cmd_serve(args) -> int:
         print("error: --max-batch and --requests must be >= 1",
               file=_sys.stderr)
         return 1
+    if args.fused and args.no_plan_cache:
+        import sys as _sys
+        print("error: --fused requires the plan cache (fused plans live on "
+              "its entries); drop --no-plan-cache", file=_sys.stderr)
+        return 1
+    execution = "fused" if args.fused else "eager"
     spec = get_device(args.device)
     model, task_kwargs = _build_task_model(args.arch, args.task,
                                            args.input_size, args.seed)
@@ -227,7 +233,8 @@ def cmd_serve(args) -> int:
     engine = DefconEngine(model, spec, backend=args.backend,
                           autotune=autotune, tune_budget=args.tune_budget,
                           tile_store=store, registry=registry, tracer=tracer,
-                          plan_cache=False if args.no_plan_cache else None)
+                          plan_cache=False if args.no_plan_cache else None,
+                          execution=execution)
     if autotune:
         print(f"autotune: {len(engine.tiles)} tile(s) bound, "
               f"{engine.tune_evaluations} objective evaluation(s)"
@@ -251,7 +258,8 @@ def cmd_serve(args) -> int:
                               autotune=autotune,
                               tune_budget=args.tune_budget, tile_store=store,
                               plan_cache=engine.plan_cache
-                              if engine.plan_cache is not None else False)
+                              if engine.plan_cache is not None else False,
+                              execution=execution)
     for img in images:
         if args.task == "detect":
             seq_engine.detect(img[None], **task_kwargs)
@@ -474,7 +482,9 @@ def _build_fleet_from_args(args):
         max_batch_size=args.max_batch, max_attempts=args.max_attempts,
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown_ms=args.breaker_cooldown,
-        seed=args.seed, **task_kwargs)
+        seed=args.seed,
+        execution="fused" if getattr(args, "fused", False) else "eager",
+        **task_kwargs)
     return sched, registry, tracer
 
 
@@ -616,6 +626,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-plan-cache", action="store_true",
                    help="disable the perf-model plan cache (for A/B "
                         "comparison; see docs/performance.md)")
+    p.add_argument("--fused", action="store_true",
+                   help="fused execution: run the texture hot path through "
+                        "compiled FusedPlans (bit-identical outputs; "
+                        "incompatible with --no-plan-cache)")
 
     p = sub.add_parser(
         "trace", help="trace a serving session (Chrome trace + metrics)")
@@ -705,6 +719,10 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_common.add_argument("--breaker-cooldown", type=float, default=50.0,
                               metavar="MS")
     fleet_common.add_argument("--seed", type=int, default=0)
+    fleet_common.add_argument("--fused", action="store_true",
+                              help="fused execution on every worker engine "
+                                   "(bit-identical outputs; see "
+                                   "docs/performance.md)")
     fr = fleet_sub.add_parser(
         "run", parents=[fleet_common],
         help="serve a request stream across the fleet")

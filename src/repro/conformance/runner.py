@@ -174,6 +174,29 @@ class ConformanceRunner:
                 passed=_stats_rows(noout.kernels) == rows,
                 detail="" if _stats_rows(noout.kernels) == rows else
                 "compute_output=False changes perf counters"))
+
+            # Fused execution is an implementation strategy, not a model
+            # change: both the compile call (fused-cold) and the
+            # steady-state replay (fused-warm) must reproduce the
+            # uncached eager run bit for bit — outputs and counters.
+            fused_cold = run_deform_op(bk, x, off, w, b, cfg, self.spec,
+                                       tile=tile, plan_cache=pc,
+                                       execution="fused")
+            fused_warm = run_deform_op(bk, x, off, w, b, cfg, self.spec,
+                                       tile=tile, plan_cache=pc,
+                                       execution="fused")
+            fused_out = (np.array_equal(fused_cold.output, base.output)
+                         and np.array_equal(fused_warm.output, base.output))
+            fused_stats = (_stats_rows(fused_cold.kernels) == rows
+                           and _stats_rows(fused_warm.kernels) == rows)
+            detail = ""
+            if not fused_out:
+                detail = "fused output differs from eager"
+            elif not fused_stats:
+                detail = "fused perf counters differ from eager"
+            results.append(CheckResult(
+                f"plancache.fused_bit_identical.{bk}",
+                passed=fused_out and fused_stats, detail=detail))
         return results
 
     # ------------------------------------------------------------------

@@ -427,6 +427,7 @@ def build_fleet(model, devices: Sequence[Union[str, object]] = ("xavier",
                 breaker_threshold: int = 3, breaker_cooldown_ms: float = 50.0,
                 wedge_timeout_ms: float = 100.0, seed: int = 0,
                 clock: Optional[SimClock] = None,
+                execution: str = "eager",
                 **task_kwargs) -> FleetScheduler:
     """Assemble a heterogeneous fleet over real DefconEngines.
 
@@ -437,6 +438,11 @@ def build_fleet(model, devices: Sequence[Union[str, object]] = ("xavier",
     fleet already runs the reference backend — paired with a lazily built
     pytorch-backend fallback engine for graceful degradation.  Workers
     are named ``w{i}-{device}`` (the names fault specs address).
+
+    ``execution="fused"`` turns on fused texture execution on every
+    worker engine (each worker keeps its own plan cache, so plans are
+    compiled per device).  The pytorch fallback engines stay eager —
+    they have no fused variant.
     """
     from repro.gpusim.device import get_device
     from repro.pipeline.engine import DefconEngine
@@ -453,7 +459,8 @@ def build_fleet(model, devices: Sequence[Union[str, object]] = ("xavier",
         name = f"w{i}-{spec.name}"
         engine = DefconEngine(model, spec, backend=backend,
                               autotune=autotune or tile_store is not None,
-                              tile_store=tile_store, tracer=tracer)
+                              tile_store=tile_store, tracer=tracer,
+                              execution=execution)
         fallback_factory = None
         if degrade and backend != "pytorch":
             fallback_factory = (

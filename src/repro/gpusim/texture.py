@@ -68,6 +68,38 @@ def quantize_fraction(frac: np.ndarray) -> np.ndarray:
     return np.round(frac * _FXP_SCALE) / _FXP_SCALE
 
 
+def linear_filter_taps(y: np.ndarray, x: np.ndarray, h: int, w: int,
+                       address_mode: str, normalized: bool):
+    """The four bilinear taps of CUDA linear filtering, fully resolved.
+
+    ``y``/``x`` are the *texture-space* coordinates (after any fp16
+    quantisation).  Returns four ``(iy, jx, weight)`` tuples — resolved
+    texel indices plus the 1.8 fixed-point blend weight with the
+    out-of-bounds mask already folded in (border reads contribute zero).
+    Both the eager fetch path and the fused execution plans consume this
+    helper, so their corner numerics can never drift apart.
+    """
+    # Linear filtering: xB = x − 0.5; i = floor(xB); α = frac(xB) in 1.8
+    # fixed point (CUDA Programming Guide, appendix on texture fetching).
+    yb = y - 0.5
+    xb = x - 0.5
+    i0 = np.floor(yb)
+    j0 = np.floor(xb)
+    alpha = quantize_fraction(yb - i0)
+    beta = quantize_fraction(xb - j0)
+    i0 = i0.astype(np.int64)
+    j0 = j0.astype(np.int64)
+    taps = []
+    for dy, dx, wq in ((0, 0, (1 - alpha) * (1 - beta)),
+                       (0, 1, (1 - alpha) * beta),
+                       (1, 0, alpha * (1 - beta)),
+                       (1, 1, alpha * beta)):
+        iy, ok_y = _apply_address_mode(i0 + dy, h, address_mode, normalized)
+        jx, ok_x = _apply_address_mode(j0 + dx, w, address_mode, normalized)
+        taps.append((iy, jx, wq * (ok_y & ok_x)))
+    return taps
+
+
 def _apply_address_mode(coord: np.ndarray, extent: int, mode: str,
                         normalized: bool) -> Tuple[np.ndarray, np.ndarray]:
     """Resolve coordinates to texel indices; returns (index, in_bounds)."""
@@ -166,30 +198,13 @@ class LayeredTexture2D:
             vals = self.data[layer, yi, xi]
             return vals * (y_ok & x_ok)
 
-        # Linear filtering: xB = x − 0.5; i = floor(xB); α = frac(xB) in 1.8
-        # fixed point (CUDA Programming Guide, appendix on texture fetching).
-        yb = y - 0.5
-        xb = x - 0.5
-        i0 = np.floor(yb)
-        j0 = np.floor(xb)
-        alpha = quantize_fraction(yb - i0)
-        beta = quantize_fraction(xb - j0)
-        i0 = i0.astype(np.int64)
-        j0 = j0.astype(np.int64)
-
-        def read(iy, jx):
-            iy_r, ok_y = _apply_address_mode(iy, h, desc.address_mode,
-                                             desc.normalized_coords)
-            jx_r, ok_x = _apply_address_mode(jx, w, desc.address_mode,
-                                             desc.normalized_coords)
-            return self.data[layer, iy_r, jx_r] * (ok_y & ok_x)
-
-        t00 = read(i0, j0)
-        t01 = read(i0, j0 + 1)
-        t10 = read(i0 + 1, j0)
-        t11 = read(i0 + 1, j0 + 1)
-        return ((1 - alpha) * (1 - beta) * t00 + (1 - alpha) * beta * t01
-                + alpha * (1 - beta) * t10 + alpha * beta * t11)
+        taps = linear_filter_taps(y, x, h, w, desc.address_mode,
+                                  desc.normalized_coords)
+        out = None
+        for iy, jx, wq in taps:
+            term = wq * self.data[layer, iy, jx]
+            out = term if out is None else out + term
+        return out
 
     def fetch_at_pixel_coords(self, layer: np.ndarray, py: np.ndarray,
                               px: np.ndarray) -> np.ndarray:

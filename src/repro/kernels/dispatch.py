@@ -22,7 +22,8 @@ def run_deform_op(backend: str, x: np.ndarray, offset: np.ndarray,
                   plan: Optional[SamplePlan] = None,
                   compute_output: bool = True,
                   layer: str = "",
-                  plan_cache=None) -> OpResult:
+                  plan_cache=None,
+                  execution: str = "eager") -> OpResult:
     """Run one deformable conv through the selected backend.
 
     ``layer`` attributes the launched kernels to a model layer (a dotted
@@ -34,6 +35,11 @@ def run_deform_op(backend: str, x: np.ndarray, offset: np.ndarray,
     the texture backends reuse the fetch trace and cache simulation for
     repeated (offsets, geometry, tile) combinations; the reference
     backend ignores it.
+
+    ``execution="fused"`` routes the texture backends through their
+    compiled :class:`~repro.kernels.fused.FusedPlan` hot path (requires
+    ``plan_cache``); outputs and stats stay bit-identical to eager.  The
+    pytorch reference backend has no fused variant and ignores the flag.
     """
     if backend == "pytorch":
         res = run_reference(x, offset, weight, bias, cfg, spec, plan=plan,
@@ -41,11 +47,11 @@ def run_deform_op(backend: str, x: np.ndarray, offset: np.ndarray,
     elif backend == "tex2d":
         res = run_tex2d(x, offset, weight, bias, cfg, spec, tile=tile,
                         plan=plan, compute_output=compute_output,
-                        plan_cache=plan_cache)
+                        plan_cache=plan_cache, execution=execution)
     elif backend == "tex2dpp":
         res = run_tex2dpp(x, offset, weight, bias, cfg, spec, tile=tile,
                           plan=plan, compute_output=compute_output,
-                          plan_cache=plan_cache)
+                          plan_cache=plan_cache, execution=execution)
     else:
         raise ValueError(
             f"unknown backend {backend!r}; choose from {BACKENDS}")

@@ -48,6 +48,7 @@ from repro.gpusim.cache import (TexelLineTrace, TextureCacheModel,
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.trace import SamplePlan, cta_ids_for_tile, sample_trace_ctas
 from repro.kernels.config import LayerConfig
+from repro.kernels.fused import FusedPlan, build_fused_plan
 
 #: Default bound on distinct (offsets, geometry) trace entries kept live.
 DEFAULT_MAX_ENTRIES = 64
@@ -69,7 +70,13 @@ def offsets_digest(offset: np.ndarray) -> str:
 
 @dataclass
 class _TraceEntry:
-    """Cached per-(offsets, geometry) trace state + per-tile stats."""
+    """Cached per-(offsets, geometry) trace state + per-tile stats.
+
+    One entry owns everything memoised for one (offset digest, geometry,
+    device, fp16) key: the fetch trace, the per-tile cache stats, *and*
+    the fused execution plans — one LRU lifetime, one digest key, so a
+    fused plan can never outlive (or lag behind) the trace it belongs to.
+    """
 
     y0: np.ndarray                     # (k·l,) floored fetch rows
     x0: np.ndarray                     # (k·l,) floored fetch cols
@@ -81,6 +88,8 @@ class _TraceEntry:
     #: (tile, concurrent_layers) → (stats, trace scale)
     stats: Dict[Tuple[Tuple[int, int], int],
                 Tuple[TextureCacheStats, float]] = field(default_factory=dict)
+    #: (in_channels, out_channels) → compiled fused execution plan
+    fused: Dict[Tuple[int, int], FusedPlan] = field(default_factory=dict)
 
 
 class PlanCacheStats:
@@ -90,9 +99,11 @@ class PlanCacheStats:
         self.hits = 0
         self.misses = 0
         self.trace_builds = 0
+        self.fused_builds = 0
         self._lock = threading.Lock()
         self._lookup_counter = None
         self._build_counter = None
+        self._fused_counter = None
 
     @property
     def bound(self) -> bool:
@@ -110,11 +121,16 @@ class PlanCacheStats:
                 "plan_cache_trace_builds",
                 help="fetch traces built by the plan cache (one per "
                      "distinct offsets+geometry)")
+            self._fused_counter = registry.counter(
+                "plan_cache_fused_builds",
+                help="fused execution plans compiled by the plan cache")
             for result, n in (("hit", self.hits), ("miss", self.misses)):
                 if n:
                     self._lookup_counter.inc(n, result=result)
             if self.trace_builds:
                 self._build_counter.inc(self.trace_builds)
+            if self.fused_builds:
+                self._fused_counter.inc(self.fused_builds)
         return self
 
     def record_hit(self) -> None:
@@ -138,6 +154,13 @@ class PlanCacheStats:
         if counter is not None:
             counter.inc()
 
+    def record_fused_build(self) -> None:
+        with self._lock:
+            self.fused_builds += 1
+            counter = self._fused_counter
+        if counter is not None:
+            counter.inc()
+
     @property
     def lookups(self) -> int:
         return self.hits + self.misses
@@ -149,7 +172,8 @@ class PlanCacheStats:
 
     def __repr__(self) -> str:
         return (f"PlanCacheStats(hits={self.hits}, misses={self.misses}, "
-                f"trace_builds={self.trace_builds})")
+                f"trace_builds={self.trace_builds}, "
+                f"fused_builds={self.fused_builds})")
 
 
 class PlanCache:
@@ -176,6 +200,9 @@ class PlanCache:
         self.tracer = tracer
         self._lock = threading.Lock()
         self._entries: "OrderedDict[tuple, _TraceEntry]" = OrderedDict()
+        #: per-key in-flight build guards — concurrent misses on the same
+        #: key coalesce onto one build instead of racing ``_build_entry``
+        self._building: Dict[tuple, threading.Event] = {}
         if registry is not None:
             self.stats.bind_registry(registry)
 
@@ -230,18 +257,110 @@ class PlanCache:
                     self.stats.record_hit()
                     return cached
         self.stats.record_miss()
-        if entry is None:
+        entry = self._acquire_entry(key, cfg, spec, plan, positions)
+        result = self._simulate_tile(entry, cfg, spec, tile, plan,
+                                     int(concurrent_layers))
+        with self._lock:
+            entry.stats.setdefault(stats_key, result)
+        return result
+
+    # ------------------------------------------------------------------
+    def fused_plan(self, offset: np.ndarray, cfg: LayerConfig,
+                   spec: DeviceSpec, fp16: bool,
+                   plan: Optional[SamplePlan],
+                   positions: Callable[[], Tuple[np.ndarray, np.ndarray]]
+                   ) -> FusedPlan:
+        """Get-or-compile the fused execution plan for one call.
+
+        ``positions`` lazily supplies the **full** (N, dg, K, L)
+        sampling-position arrays (post fp16 quantisation for tex2D++) —
+        only invoked on a compile.  The plan hangs off the same trace
+        entry as the memoised stats (one digest key, one LRU lifetime),
+        keyed inside it by (in_channels, out_channels); compiles coalesce
+        under the same in-flight guard as trace builds.
+        """
+        plan = plan or SamplePlan()
+        key = self._trace_key(offsets_digest(offset), cfg, spec, fp16, plan)
+        fkey = (cfg.in_channels, cfg.out_channels)
+        guard = (key, "fused", fkey)
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    fused = entry.fused.get(fkey)
+                    if fused is not None:
+                        self.stats.record_hit()
+                        return fused
+                event = self._building.get(guard)
+                if event is None:
+                    event = threading.Event()
+                    self._building[guard] = event
+                    break
+            event.wait()
+        try:
+            self.stats.record_miss()
+            entry = self._acquire_entry(
+                key, cfg, spec, plan,
+                lambda: tuple(p[0, 0] for p in positions()))
+            fused = self._build_fused(cfg, spec, fp16, positions)
+            with self._lock:
+                fused = entry.fused.setdefault(fkey, fused)
+        finally:
+            with self._lock:
+                self._building.pop(guard, None)
+            event.set()
+        return fused
+
+    def _build_fused(self, cfg: LayerConfig, spec: DeviceSpec, fp16: bool,
+                     positions) -> FusedPlan:
+        self.stats.record_fused_build()
+        if self.tracer is not None:
+            with self.tracer.span("plancache.build_fused", cat="plancache",
+                                  geometry=cfg.label()):
+                return build_fused_plan(cfg, spec, fp16, positions)
+        return build_fused_plan(cfg, spec, fp16, positions)
+
+    # ------------------------------------------------------------------
+    def _acquire_entry(self, key: tuple, cfg: LayerConfig, spec: DeviceSpec,
+                       plan: SamplePlan,
+                       positions: Callable[[], Tuple[np.ndarray, np.ndarray]]
+                       ) -> _TraceEntry:
+        """Get-or-build the trace entry for ``key``, coalescing misses.
+
+        Concurrent misses on the same key used to race ``_build_entry``
+        and double-count ``trace_builds`` (one build discarded by
+        ``setdefault``); now the first thread builds under a per-key
+        in-flight event and the rest wait, so the build — and its
+        observability counter — happens exactly once per distinct key.
+        """
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    return entry
+                event = self._building.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._building[key] = event
+                    break
+            # Another thread is building this key — wait, then re-check
+            # (looping guards against builder failure or instant
+            # eviction, in which case we become the builder).
+            event.wait()
+        try:
             entry = self._build_entry(cfg, spec, plan, positions)
             with self._lock:
                 entry = self._entries.setdefault(key, entry)
                 self._entries.move_to_end(key)
                 while len(self._entries) > self.max_entries:
                     self._entries.popitem(last=False)
-        result = self._simulate_tile(entry, cfg, spec, tile, plan,
-                                     int(concurrent_layers))
-        with self._lock:
-            entry.stats.setdefault(stats_key, result)
-        return result
+        finally:
+            with self._lock:
+                self._building.pop(key, None)
+            event.set()
+        return entry
 
     # ------------------------------------------------------------------
     def _build_entry(self, cfg: LayerConfig, spec: DeviceSpec,

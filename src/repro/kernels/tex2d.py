@@ -37,6 +37,7 @@ from repro.gpusim.profiler import KernelStats
 from repro.gpusim.texture import LayeredTexture2D, TextureDescriptor
 from repro.gpusim.trace import SamplePlan, texture_fetch_trace
 from repro.kernels.config import LayerConfig, OpResult
+from repro.kernels.fused import validate_execution
 from repro.kernels.reference import COORD_FLOPS
 
 #: Default CTA tile (output pixels per block) — overridden by the autotuner.
@@ -48,7 +49,8 @@ def run_tex2d(x: np.ndarray, offset: np.ndarray, weight: np.ndarray,
               tile: Tuple[int, int] = DEFAULT_TILE, fp16_offsets: bool = False,
               plan: Optional[SamplePlan] = None,
               compute_output: bool = True,
-              plan_cache: Optional["PlanCache"] = None) -> OpResult:
+              plan_cache: Optional["PlanCache"] = None,
+              execution: str = "eager") -> OpResult:
     """Execute the texture-hardware deformable conv (tex2D / tex2D++).
 
     ``fp16_offsets=True`` selects the tex2D++ variant.  ``plan_cache``
@@ -56,8 +58,16 @@ def run_tex2d(x: np.ndarray, offset: np.ndarray, weight: np.ndarray,
     trace and cache simulation across calls with identical offsets,
     geometry and tile — the returned kernel stats are bit-identical to
     the uncached path.
+
+    ``execution="fused"`` (requires a plan cache) runs the functional
+    forward through a compiled :class:`~repro.kernels.fused.FusedPlan`
+    memoised on the same plan-cache entry: precomputed tap coordinates
+    and fixed-point blend weights, preallocated buffers, one gather →
+    blend → GEMM pass.  Outputs and kernel stats are bit-identical to
+    eager execution (see docs/performance.md).
     """
     plan = plan or SamplePlan()
+    validate_execution(execution, plan_cache)
     ty, tx = tile
     if ty <= 0 or tx <= 0 or ty * tx > spec.max_threads_per_block:
         raise ValueError(f"tile {tile} invalid for {spec.name}")
@@ -84,7 +94,11 @@ def run_tex2d(x: np.ndarray, offset: np.ndarray, weight: np.ndarray,
     # functional result through the texture unit
     # ------------------------------------------------------------------
     output = None
-    if compute_output:
+    if compute_output and execution == "fused":
+        fplan = plan_cache.fused_plan(off, cfg, spec, fp16_offsets, plan,
+                                      positions)
+        output = fplan.execute(x, weight, bias)
+    elif compute_output:
         py, px = positions()
         desc = TextureDescriptor(address_mode="border", filter_mode="linear",
                                  fp16_coords=fp16_offsets)
@@ -110,8 +124,12 @@ def run_tex2d(x: np.ndarray, offset: np.ndarray, weight: np.ndarray,
     # ------------------------------------------------------------------
     concurrent_layers = min(cpg, 4)
     if plan_cache is not None:
+        # Key on the *quantised* offsets (``off``) — the functional path
+        # samples through them, so two fp32 offset tensors that quantise
+        # to the same fp16 values must share one cache entry and one
+        # trace build (they are the same tex2D++ launch).
         tex_stats, scale = plan_cache.tex_stats(
-            offset, cfg, spec, tile, fp16_offsets, plan, concurrent_layers,
+            off, cfg, spec, tile, fp16_offsets, plan, concurrent_layers,
             lambda: (positions()[0][0, 0], positions()[1][0, 0]))
     else:
         py, px = positions()
@@ -124,18 +142,21 @@ def run_tex2d(x: np.ndarray, offset: np.ndarray, weight: np.ndarray,
     # identical — each layer's lines are distinct but isomorphic).
     tex_stats = tex_stats.scaled(scale * n * dg * cpg)
 
+    # Channel blocks are spread across the grid's z dimension so channel
+    # count contributes parallelism, not per-CTA serialisation.
+    channel_blocks = max(1, -(-cpg // spec.offset_channel_block))
+
     # Offsets are re-read once per channel block a CTA processes; fp16
     # storage (tex2D++) halves this stream — the paper's bandwidth saving.
+    # The re-read count is the *ceil* block count, matching the launch
+    # grid: a partial trailing block still issues a full offset read.
     offset_bytes = 2 if fp16_offsets else 4
     offs = strided_stats(n * 2 * k * l * dg, offset_bytes, spec)
-    offs_traffic = offs.bytes_transferred * (cpg / spec.offset_channel_block)
+    offs_traffic = offs.bytes_transferred * channel_blocks
     col_bytes = float(n * c * k * l * 4)
 
     coord_flops = float(n * c * k * l * COORD_FLOPS)
     tiles = -(-cfg.out_height // ty) * -(-cfg.out_width // tx)
-    # Channel blocks are spread across the grid's z dimension so channel
-    # count contributes parallelism, not per-CTA serialisation.
-    channel_blocks = max(1, -(-cpg // spec.offset_channel_block))
     launch = LaunchConfig(grid=max(1, tiles * n * dg * channel_blocks),
                           block=ty * tx)
     sample_cost = KernelCost(
@@ -185,8 +206,10 @@ def run_tex2dpp(x: np.ndarray, offset: np.ndarray, weight: np.ndarray,
                 spec: DeviceSpec, tile: Tuple[int, int] = DEFAULT_TILE,
                 plan: Optional[SamplePlan] = None,
                 compute_output: bool = True,
-                plan_cache: Optional["PlanCache"] = None) -> OpResult:
+                plan_cache: Optional["PlanCache"] = None,
+                execution: str = "eager") -> OpResult:
     """The tex2D++ variant: fp16 offsets, half the offset bandwidth."""
     return run_tex2d(x, offset, weight, bias, cfg, spec, tile=tile,
                      fp16_offsets=True, plan=plan,
-                     compute_output=compute_output, plan_cache=plan_cache)
+                     compute_output=compute_output, plan_cache=plan_cache,
+                     execution=execution)

@@ -35,6 +35,7 @@ from repro.gpusim.device import DeviceSpec
 from repro.gpusim.profiler import ProfileLog
 from repro.kernels.config import LayerConfig
 from repro.kernels.dispatch import BACKENDS, run_deform_op
+from repro.kernels.fused import validate_execution
 from repro.kernels.plancache import PlanCache, PlanCacheStats
 from repro.kernels.tex2d import DEFAULT_TILE
 from repro.kernels.tiling import TileKey, nearest_tile_key, tile_key
@@ -118,6 +119,8 @@ class TextureRuntime:
     cache_stats: TileCacheStats = field(default_factory=TileCacheStats)
     #: perf-model plan cache shared by every layer execution (None = off)
     plan_cache: Optional[PlanCache] = None
+    #: "eager" or "fused" — forwarded to the texture backends
+    execution: str = "eager"
     #: near-hit resolutions memoised per runtime geometry
     resolved: Dict[TileKey, Tuple[int, int]] = field(default_factory=dict)
     _warned: Set[TileKey] = field(default_factory=set)
@@ -169,7 +172,8 @@ class TextureRuntime:
                             layer.weight.data, bias, cfg, self.spec,
                             tile=tile, compute_output=True,
                             layer=getattr(layer, "layer_name", ""),
-                            plan_cache=self.plan_cache)
+                            plan_cache=self.plan_cache,
+                            execution=self.execution)
         for k in res.kernels:
             self.log.add(k)
         return Tensor(res.output.astype(np.float32))
@@ -197,6 +201,12 @@ class DefconEngine:
     share plans across engines (e.g. a batched and a sequential engine
     over the same model), or ``False`` to disable caching.  Hit/miss
     counters land on the registry as ``plan_cache_lookups{result=...}``.
+
+    ``execution="fused"`` routes every texture-backend layer execution
+    through its compiled :class:`~repro.kernels.fused.FusedPlan` — the
+    steady-state serving fast path.  Fused plans live on the plan-cache
+    entries, so fused execution with ``plan_cache=False`` is a
+    configuration error (raised here, not at first inference).
     """
 
     def __init__(self, model: Module, spec: DeviceSpec,
@@ -206,7 +216,7 @@ class DefconEngine:
                  registry: Optional[MetricsRegistry] = None,
                  tracer: Optional[SpanTracer] = None,
                  max_log_records: Optional[int] = ProfileLog.DEFAULT_MAX_RECORDS,
-                 plan_cache=None):
+                 plan_cache=None, execution: str = "eager"):
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; choose from {BACKENDS}")
@@ -228,9 +238,12 @@ class DefconEngine:
             self.plan_cache = plan_cache
             if not plan_cache.stats.bound:
                 plan_cache.bind_registry(self.registry)
+        validate_execution(execution, self.plan_cache)
+        self.execution = execution
         self._runtime = TextureRuntime(spec=spec, backend=backend,
                                        log=self.log,
-                                       plan_cache=self.plan_cache)
+                                       plan_cache=self.plan_cache,
+                                       execution=execution)
         self._runtime.cache_stats.bind_registry(self.registry)
         self._layers = [m for m in model.modules()
                         if isinstance(m, DeformConv2d)]
