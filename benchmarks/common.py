@@ -17,9 +17,11 @@ full regeneration of the experiment.
 
 from __future__ import annotations
 
+import datetime
 import json
 import subprocess
 import sys
+import time
 from pathlib import Path
 from typing import Optional
 
@@ -27,6 +29,10 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 #: bump when the BENCH_*.json envelope changes shape
 BENCH_SCHEMA_VERSION = 1
+
+#: monotonic origin for the default ``duration_s`` stamp — "how long has
+#: this bench process been running when it wrote its JSON"
+_PROCESS_T0 = time.monotonic()
 
 
 def write_result(name: str, text: str) -> None:
@@ -38,6 +44,8 @@ def write_result(name: str, text: str) -> None:
 
 
 def _git_rev() -> Optional[str]:
+    # FileNotFoundError (no git binary on the box) is an OSError: a bench
+    # must still produce its JSON on machines without git installed.
     try:
         out = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
@@ -49,13 +57,21 @@ def _git_rev() -> Optional[str]:
 
 
 def write_bench_json(name: str, metrics: dict,
-                     device: Optional[str] = None, **extra) -> Path:
+                     device: Optional[str] = None,
+                     duration_s: Optional[float] = None, **extra) -> Path:
     """Persist one bench's numbers as ``results/BENCH_<name>.json``.
 
     ``metrics`` must be JSON-serialisable (floats/ints/lists/dicts); numpy
     scalars are coerced.  ``device`` is the simulated GPU preset name the
     numbers were measured on; ``extra`` keys land next to it in the
     envelope (e.g. ``backend=...``).
+
+    Every payload is stamped with ``timestamp`` (UTC ISO-8601, wall
+    clock) and ``duration_s`` — the wall-clock run duration; pass it
+    explicitly for a per-bench number, otherwise the time since this
+    module was imported (≈ bench-process lifetime) is recorded.  The
+    flight recorder (:mod:`repro.obs.flightrec`) reads the timestamp into
+    its verdict metadata; neither stamp is a compared metric.
     """
 
     def _coerce(value):
@@ -73,6 +89,10 @@ def write_bench_json(name: str, metrics: dict,
         "bench": name,
         "device": device,
         "git_rev": _git_rev(),
+        "timestamp": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "duration_s": round(float(duration_s) if duration_s is not None
+                            else time.monotonic() - _PROCESS_T0, 3),
         "metrics": _coerce(metrics),
     }
     payload.update({str(k): _coerce(v) for k, v in extra.items()})

@@ -74,6 +74,7 @@ class TileStore:
         self._entries: Dict[str, dict] = {}
         self._lookup_counter = None
         self._save_counter = None
+        self._lookup_window = None
         if registry is not None:
             self.bind_registry(registry)
         if self.path is not None:
@@ -81,18 +82,26 @@ class TileStore:
 
     def bind_registry(self, registry) -> "TileStore":
         """Register the store's counters onto a shared MetricsRegistry
-        (``tile_store_lookups{result=hit|miss}``, ``tile_store_saves``)."""
+        (``tile_store_lookups{result=hit|miss}``, ``tile_store_saves``)
+        plus a windowed lookup-rate series (count per wall-clock window
+        on ``tile_store_lookup_events`` — see docs/observability.md)."""
         if self._lookup_counter is None:
             self._lookup_counter = registry.counter(
                 "tile_store_lookups",
                 help="persistent tile-store lookups by result")
             self._save_counter = registry.counter(
                 "tile_store_saves", help="persistent tile-store writes")
+            self._lookup_window = registry.windowed_histogram(
+                "tile_store_lookup_events",
+                help="tile-store lookups per wall-clock window by result "
+                     "(per-window count == lookup rate)")
         return self
 
     def _count_lookup(self, result: str) -> None:
         if self._lookup_counter is not None:
             self._lookup_counter.inc(result=result)
+        if self._lookup_window is not None:
+            self._lookup_window.observe(1.0, result=result)
 
     # ------------------------------------------------------------------
     # persistence

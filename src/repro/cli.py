@@ -24,7 +24,13 @@ user reaches for first:
   ``plan`` shows the router's per-worker ECT view);
 * ``trace``         — run a model preset under the span tracer and write
   Perfetto-loadable ``trace.json`` + ``metrics.json`` plus the per-layer
-  latency table (paper Table II/IV style).
+  latency table (paper Table II/IV style); ``--open PATH --span-id sNN``
+  inspects one span of an existing trace (the id an SLO exemplar names);
+* ``metrics``       — ``export`` converts a saved ``metrics.json``
+  snapshot (or re-emits a live registry) to Prometheus text exposition;
+* ``bench``         — ``compare`` runs the bench-regression flight
+  recorder over two ``BENCH_*.json`` snapshot sets (baseline vs current)
+  and exits non-zero on a tracked regression (the CI perf gate).
 """
 
 from __future__ import annotations
@@ -290,8 +296,60 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _open_trace_span(path: str, span_id: Optional[str]) -> int:
+    """``repro trace --open`` — inspect spans of an existing trace JSON.
+
+    With ``--span-id`` prints the one span an SLO exemplar named (its
+    timing, thread, and args); without, lists every span id in the file
+    so the ids are discoverable.
+    """
+    import json
+    import sys as _sys
+
+    try:
+        with open(path) as fh:
+            events = json.load(fh).get("traceEvents", [])
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read trace {path}: {exc}", file=_sys.stderr)
+        return 1
+    spans = [e for e in events
+             if e.get("ph") == "X" and e.get("args", {}).get("span_id")]
+    if span_id is None:
+        rows = [[e["args"]["span_id"], e["name"], e.get("cat", ""),
+                 round(e.get("ts", 0.0), 1), round(e.get("dur", 0.0), 1)]
+                for e in sorted(
+                    spans,
+                    key=lambda e: int(e["args"]["span_id"][1:]))]
+        print(format_table(["span", "name", "cat", "ts (us)", "dur (us)"],
+                           rows, title=f"Spans in {path}"))
+        print("\npass --span-id sNN to expand one span (SLO exemplar "
+              "columns name these ids)")
+        return 0
+    matches = [e for e in spans if e["args"]["span_id"] == span_id]
+    if not matches:
+        print(f"error: no span {span_id!r} in {path} "
+              f"({len(spans)} spans present)", file=_sys.stderr)
+        return 1
+    event = matches[0]
+    print(f"span {span_id}: {event['name']} [{event.get('cat', '')}]")
+    print(f"  ts: {event.get('ts', 0.0):.1f} us   "
+          f"dur: {event.get('dur', 0.0):.1f} us   "
+          f"pid: {event.get('pid')}   tid: {event.get('tid')}")
+    for key, value in sorted(event.get("args", {}).items()):
+        if key != "span_id":
+            print(f"  {key}: {value}")
+    return 0
+
+
 def cmd_trace(args) -> int:
     """``repro trace`` — trace a serving session, export trace + metrics."""
+    if args.open:
+        return _open_trace_span(args.open, args.span_id)
+    if args.span_id:
+        import sys as _sys
+        print("error: --span-id requires --open PATH", file=_sys.stderr)
+        return 1
+
     import numpy as np
 
     from repro.autotune.store import TileStore
@@ -341,8 +399,51 @@ def cmd_trace(args) -> int:
     print(f"wrote Chrome trace to {args.out} ({tracer.num_events} events) "
           f"and metrics to {args.metrics_out}")
     if args.flame:
-        print("\n" + tracer.flame_summary())
+        print("\n" + tracer.flame_summary(top=args.top))
     return 0
+
+
+def cmd_metrics(args) -> int:
+    """``repro metrics`` — convert metrics snapshots between formats."""
+    import json
+    import sys as _sys
+
+    from repro.obs.registry import prometheus_from_snapshot
+
+    if args.action != "export":
+        raise ValueError(f"unknown metrics action {args.action!r}")
+    try:
+        with open(args.snapshot) as fh:
+            snapshot = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read metrics snapshot {args.snapshot}: {exc}",
+              file=_sys.stderr)
+        return 1
+    if not isinstance(snapshot, dict) or not all(
+            isinstance(v, dict) and "kind" in v for v in snapshot.values()):
+        print(f"error: {args.snapshot} is not a metrics registry snapshot",
+              file=_sys.stderr)
+        return 1
+    text = prometheus_from_snapshot(snapshot)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote Prometheus exposition for {len(snapshot)} metric(s) "
+              f"to {args.out}")
+    else:
+        _sys.stdout.write(text)
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """``repro bench`` — bench-regression flight recorder."""
+    from repro.obs.flightrec import run_compare
+
+    if args.action != "compare":
+        raise ValueError(f"unknown bench action {args.action!r}")
+    return run_compare(args.baseline, args.current,
+                       json_out=args.json_out,
+                       markdown_out=args.markdown_out)
 
 
 def cmd_tiles(args) -> int:
@@ -473,7 +574,11 @@ def _build_fleet_from_args(args):
     devices = [d.strip() for d in args.devices.split(",") if d.strip()]
     store = TileStore(args.store) if getattr(args, "store", None) else None
     registry = MetricsRegistry()
-    tracer = SpanTracer() if getattr(args, "trace", None) else None
+    # --slo needs a tracer even without --trace: exemplars carry span ids
+    want_tracer = (getattr(args, "trace", None)
+                   or getattr(args, "slo", False))
+    tracer = SpanTracer() if want_tracer else None
+    from repro.fleet.scheduler import DEFAULT_SLO_WINDOW_MS
     sched = build_fleet(
         model, devices, backend=args.backend, task=args.task,
         router=args.router, registry=registry, tracer=tracer,
@@ -484,6 +589,8 @@ def _build_fleet_from_args(args):
         breaker_cooldown_ms=args.breaker_cooldown,
         seed=args.seed,
         execution="fused" if getattr(args, "fused", False) else "eager",
+        slo_window_ms=(getattr(args, "slo_window", None)
+                       or DEFAULT_SLO_WINDOW_MS),
         **task_kwargs)
     return sched, registry, tracer
 
@@ -553,6 +660,20 @@ def cmd_fleet(args) -> int:
     resolved = sum(1 for f in futures if f.done())
     print(f"futures audit: {len(futures)} submitted, {resolved} resolved, "
           f"{unresolved} unresolved")
+    if getattr(args, "slo", False):
+        from repro.fleet import default_fleet_slos
+        from repro.obs.slo import format_slo_table
+
+        reports = sched.evaluate_slos(default_fleet_slos(args.slo_p99_ms))
+        for report in reports:
+            print("\n" + format_slo_table(report))
+        violated = sum(len(r.violated_windows) for r in reports)
+        if violated:
+            trace_hint = args.trace or "<trace.json>"
+            print(f"\n{violated} violated window(s); inspect an exemplar "
+                  f"with: repro trace --open {trace_hint} --span-id <sNN>"
+                  + ("" if args.trace else
+                     " (re-run with --trace PATH to export the spans)"))
     if tracer is not None:
         tracer.write(args.trace)
         print(f"wrote Chrome trace to {args.trace} "
@@ -654,6 +775,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="metrics registry JSON output path")
     p.add_argument("--flame", action="store_true",
                    help="print the text flame summary")
+    p.add_argument("--top", type=int, default=None, metavar="N",
+                   help="keep only the N largest flame rows")
+    p.add_argument("--open", default=None, metavar="TRACE_JSON",
+                   help="inspect an existing trace instead of running: "
+                        "list its span ids, or expand one with --span-id")
+    p.add_argument("--span-id", default=None, metavar="SID",
+                   help="with --open: print the one span an SLO exemplar "
+                        "named (e.g. s17)")
 
     p = sub.add_parser("tiles", help="inspect/export/import the tile store")
     tiles_sub = p.add_subparsers(dest="action", required=True)
@@ -742,9 +871,44 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also export a Chrome trace JSON of the run")
     fr.add_argument("--metrics-out", default=None, metavar="PATH",
                     help="also export the metrics registry as JSON")
+    fr.add_argument("--slo", action="store_true",
+                    help="evaluate the fleet's default SLOs after the run "
+                         "and print per-window attainment tables with burn "
+                         "rates and exemplar span ids")
+    fr.add_argument("--slo-p99-ms", type=float, default=0.5, metavar="MS",
+                    help="p99 latency threshold for the default SLOs "
+                         "(simulated ms; default 0.5)")
+    fr.add_argument("--slo-window", type=float, default=None, metavar="MS",
+                    help="SLO window width in simulated ms "
+                         "(default 0.25)")
     fleet_sub.add_parser(
         "plan", parents=[fleet_common],
         help="show the router's per-worker ECT view without serving")
+
+    p = sub.add_parser(
+        "metrics", help="convert metrics snapshots (Prometheus exposition)")
+    metrics_sub = p.add_subparsers(dest="action", required=True)
+    pm = metrics_sub.add_parser(
+        "export", help="metrics.json snapshot -> Prometheus text")
+    pm.add_argument("snapshot", metavar="METRICS_JSON",
+                    help="snapshot written by --metrics-out / registry.write")
+    pm.add_argument("--out", default=None,
+                    help="output path (default stdout)")
+
+    p = sub.add_parser(
+        "bench", help="bench-regression flight recorder (docs/observability.md)")
+    bench_sub = p.add_subparsers(dest="action", required=True)
+    pb = bench_sub.add_parser(
+        "compare",
+        help="compare BENCH_*.json snapshot sets; exit 1 on regression")
+    pb.add_argument("baseline", metavar="BASELINE",
+                    help="baseline BENCH_*.json file or directory")
+    pb.add_argument("current", metavar="CURRENT",
+                    help="current BENCH_*.json file or directory")
+    pb.add_argument("--json-out", default=None, metavar="PATH",
+                    help="write the verdict JSON here")
+    pb.add_argument("--markdown-out", default=None, metavar="PATH",
+                    help="write the markdown table here")
 
     p = sub.add_parser("latency-table", help="build the NAS t(w_n) table")
     p.add_argument("--device", default="xavier")
@@ -771,6 +935,8 @@ COMMANDS = {
     "trace": cmd_trace,
     "conformance": cmd_conformance,
     "fleet": cmd_fleet,
+    "metrics": cmd_metrics,
+    "bench": cmd_bench,
 }
 
 

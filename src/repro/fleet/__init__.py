@@ -20,7 +20,8 @@ from repro.fleet.queueing import (REASON_CLOSED, REASON_EXPIRED,
 from repro.fleet.router import (CostModelRouter, EngineCostModel,
                                 RandomRouter, Router, RoundRobinRouter,
                                 make_router)
-from repro.fleet.scheduler import FleetScheduler, SimClock, build_fleet
+from repro.fleet.scheduler import (FleetScheduler, SimClock, build_fleet,
+                                   default_fleet_slos)
 from repro.fleet.worker import BatchOutcome, FleetWorker
 
 __all__ = [
@@ -28,7 +29,8 @@ __all__ = [
     "CostModelRouter", "EngineCostModel", "FaultInjector", "FaultSpec",
     "FaultyEngine", "FleetRejection", "FleetRequest", "FleetScheduler",
     "FleetWorker", "RandomRouter", "Router", "RoundRobinRouter", "SimClock",
-    "WorkerCrashed", "WorkerWedged", "build_fleet", "make_router",
+    "WorkerCrashed", "WorkerWedged", "build_fleet", "default_fleet_slos",
+    "make_router",
     "parse_fault", "CLOSED", "OPEN", "HALF_OPEN",
     "REASON_CLOSED", "REASON_EXPIRED", "REASON_NO_WORKER",
     "REASON_QUEUE_FULL", "REASON_RETRIES",

@@ -44,6 +44,34 @@ from repro.fleet.queueing import (REASON_CLOSED, REASON_EXPIRED,
 from repro.fleet.router import Router, make_router
 from repro.fleet.worker import FleetWorker
 from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import SLO
+from repro.obs.timeseries import Exemplar
+
+#: default window width for the fleet's time-series metrics (sim ms) —
+#: simulated per-request latencies are sub-millisecond, so quarter-ms
+#: windows give a demo-sized run a real attainment curve instead of one
+#: bucket
+DEFAULT_SLO_WINDOW_MS = 0.25
+#: windows retained on the fleet's windowed series
+DEFAULT_SLO_RETENTION = 256
+
+
+def default_fleet_slos(p99_ms: float, availability: float = 0.99
+                       ) -> List[SLO]:
+    """The fleet's stock SLO pair: tail latency + availability.
+
+    Both read ``fleet_request_latency_ms`` (windowed on the SimClock);
+    availability additionally counts ``fleet_request_failures``
+    observations — requests that resolved without ever producing a
+    latency sample — as bad.
+    """
+    return [
+        SLO(name="fleet-p99-latency", metric="fleet_request_latency_ms",
+            objective="quantile", quantile=99.0, threshold_ms=p99_ms),
+        SLO(name="fleet-availability", metric="fleet_request_latency_ms",
+            objective="availability", threshold_ms=p99_ms,
+            target=availability, bad_metric="fleet_request_failures"),
+    ]
 
 
 class SimClock:
@@ -72,7 +100,9 @@ class FleetScheduler:
                  router: Union[str, Router] = "cost", *,
                  clock: Optional[SimClock] = None,
                  registry: Optional[MetricsRegistry] = None,
-                 tracer=None, max_attempts: int = 3, seed: int = 0):
+                 tracer=None, max_attempts: int = 3, seed: int = 0,
+                 slo_window_ms: float = DEFAULT_SLO_WINDOW_MS,
+                 slo_retention: int = DEFAULT_SLO_RETENTION):
         if not workers:
             raise ValueError("a fleet needs at least one worker")
         names = [w.name for w in workers]
@@ -113,6 +143,24 @@ class FleetScheduler:
             "fleet_requests_rerouted",
             help="queued requests moved off a breaker-pinned worker, by "
                  "the worker routed away from")
+        # time-series metrics on the *simulated* clock: per-request
+        # submit→resolve latency (completions, with an exemplar naming
+        # the fleet.batch span that served the request) and failures
+        # (rejections / exhausted retries, which never produce a latency
+        # sample) — the series the fleet SLOs are evaluated over.
+        self._latency_windows = self.registry.windowed_histogram(
+            "fleet_request_latency_ms",
+            help="per-request submit-to-complete latency (simulated ms), "
+                 "windowed on the fleet SimClock",
+            window_ms=slo_window_ms, retention=slo_retention,
+            clock=lambda: self.clock.now_ms)
+        self._failure_windows = self.registry.windowed_histogram(
+            "fleet_request_failures",
+            help="requests resolved without a result (rejections and "
+                 "exhausted retries), windowed on the fleet SimClock; "
+                 "the value is the sim-ms from submit to resolution",
+            window_ms=slo_window_ms, retention=slo_retention,
+            clock=lambda: self.clock.now_ms)
 
     # ------------------------------------------------------------------
     # submission + routing
@@ -185,6 +233,12 @@ class FleetScheduler:
         if not req.future.done():
             req.future.set_exception(FleetRejection(reason, detail))
         self._rejected.inc(reason=reason)
+        self._record_failure_window(req)
+
+    def _record_failure_window(self, req: FleetRequest) -> None:
+        now = self.clock.now_ms
+        self._failure_windows.observe(max(0.0, now - req.submit_ms),
+                                      ts_ms=now)
 
     # ------------------------------------------------------------------
     # the simulation loop
@@ -245,6 +299,16 @@ class FleetScheduler:
                 if not r.future.done():
                     r.future.set_result(res)
                 self._completed.inc(worker=worker.name)
+                latency = max(0.0, done - r.submit_ms)
+                exemplar = None
+                if outcome.span_id is not None:
+                    exemplar = Exemplar(
+                        value=latency, span_id=outcome.span_id,
+                        labels=(("request", str(r.id)),
+                                ("worker", worker.name)),
+                        ts_ms=done)
+                self._latency_windows.observe(latency, ts_ms=done,
+                                              exemplar=exemplar)
         else:
             for r in batch:
                 self._handle_failure(r, worker, outcome.error, done)
@@ -309,6 +373,7 @@ class FleetScheduler:
             if not req.future.done():
                 req.future.set_exception(error)
             self._rejected.inc(reason=REASON_RETRIES)
+            self._record_failure_window(req)
             return
         target, ects = self._select(req.shape, now,
                                     frozenset(req.failed_on))
@@ -390,6 +455,12 @@ class FleetScheduler:
             } for w in self.workers],
         }
 
+    def evaluate_slos(self, slos: Sequence[SLO]) -> List["object"]:
+        """Evaluate SLO specs against this fleet's windowed metrics."""
+        from repro.obs.slo import evaluate_slo
+
+        return [evaluate_slo(slo, self.registry) for slo in slos]
+
     def unresolved(self) -> List[FleetRequest]:
         """Requests whose future has not resolved (must be [] after
         drain + close — the zero-lost-futures audit)."""
@@ -428,6 +499,8 @@ def build_fleet(model, devices: Sequence[Union[str, object]] = ("xavier",
                 wedge_timeout_ms: float = 100.0, seed: int = 0,
                 clock: Optional[SimClock] = None,
                 execution: str = "eager",
+                slo_window_ms: float = DEFAULT_SLO_WINDOW_MS,
+                slo_retention: int = DEFAULT_SLO_RETENTION,
                 **task_kwargs) -> FleetScheduler:
     """Assemble a heterogeneous fleet over real DefconEngines.
 
@@ -477,4 +550,6 @@ def build_fleet(model, devices: Sequence[Union[str, object]] = ("xavier",
             wedge_timeout_ms=wedge_timeout_ms, **task_kwargs))
     return FleetScheduler(workers, router=router, clock=clock,
                           registry=registry, tracer=tracer,
-                          max_attempts=max_attempts, seed=seed)
+                          max_attempts=max_attempts, seed=seed,
+                          slo_window_ms=slo_window_ms,
+                          slo_retention=slo_retention)

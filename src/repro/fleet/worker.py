@@ -47,6 +47,9 @@ class BatchOutcome:
     sim_ms: float                       # simulated device time charged
     engine: str                         # "primary" | "fallback"
     probe: bool = False                 # half-open breaker probe batch
+    #: tracer span id of the ``fleet.batch`` span that served this batch
+    #: (None without a tracer) — the exemplar link SLO windows print
+    span_id: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -238,10 +241,12 @@ class FleetWorker:
             with self.tracer.span(
                     "fleet.batch", cat="fleet", worker=self.name,
                     size=len(batch),
+                    requests=[r.id for r in batch],
                     engine="primary" if use_primary else "fallback",
                     probe=probe, start_sim_ms=round(now_ms, 3)):
                 outcome = self._serve_batch_inner(batch, now_ms,
                                                   use_primary, probe)
+                outcome.span_id = self.tracer.current_span_id()
         else:
             outcome = self._serve_batch_inner(batch, now_ms, use_primary,
                                               probe)

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
@@ -104,6 +105,7 @@ class PlanCacheStats:
         self._lookup_counter = None
         self._build_counter = None
         self._fused_counter = None
+        self._build_window = None
 
     @property
     def bound(self) -> bool:
@@ -124,6 +126,11 @@ class PlanCacheStats:
             self._fused_counter = registry.counter(
                 "plan_cache_fused_builds",
                 help="fused execution plans compiled by the plan cache")
+            self._build_window = registry.windowed_histogram(
+                "plan_cache_build_ms",
+                help="wall ms spent compiling plans (trace/fused), "
+                     "windowed on the wall clock — a build spike in a "
+                     "serving window means new offset digests arrived")
             for result, n in (("hit", self.hits), ("miss", self.misses)):
                 if n:
                     self._lookup_counter.inc(n, result=result)
@@ -160,6 +167,13 @@ class PlanCacheStats:
             counter = self._fused_counter
         if counter is not None:
             counter.inc()
+
+    def record_build_ms(self, kind: str, duration_ms: float) -> None:
+        """Windowed build-duration sample (``kind`` = trace|fused)."""
+        with self._lock:
+            window = self._build_window
+        if window is not None:
+            window.observe(float(duration_ms), kind=kind)
 
     @property
     def lookups(self) -> int:
@@ -315,11 +329,17 @@ class PlanCache:
     def _build_fused(self, cfg: LayerConfig, spec: DeviceSpec, fp16: bool,
                      positions) -> FusedPlan:
         self.stats.record_fused_build()
-        if self.tracer is not None:
-            with self.tracer.span("plancache.build_fused", cat="plancache",
-                                  geometry=cfg.label()):
-                return build_fused_plan(cfg, spec, fp16, positions)
-        return build_fused_plan(cfg, spec, fp16, positions)
+        t0 = time.perf_counter()
+        try:
+            if self.tracer is not None:
+                with self.tracer.span("plancache.build_fused",
+                                      cat="plancache",
+                                      geometry=cfg.label()):
+                    return build_fused_plan(cfg, spec, fp16, positions)
+            return build_fused_plan(cfg, spec, fp16, positions)
+        finally:
+            self.stats.record_build_ms(
+                "fused", (time.perf_counter() - t0) * 1e3)
 
     # ------------------------------------------------------------------
     def _acquire_entry(self, key: tuple, cfg: LayerConfig, spec: DeviceSpec,
@@ -368,11 +388,18 @@ class PlanCache:
                      positions: Callable[[], Tuple[np.ndarray, np.ndarray]]
                      ) -> _TraceEntry:
         """Build the tile-independent trace state (the expensive half)."""
-        if self.tracer is not None:
-            with self.tracer.span("plancache.build_trace", cat="plancache",
-                                  geometry=cfg.label()):
-                return self._build_entry_inner(cfg, spec, plan, positions)
-        return self._build_entry_inner(cfg, spec, plan, positions)
+        t0 = time.perf_counter()
+        try:
+            if self.tracer is not None:
+                with self.tracer.span("plancache.build_trace",
+                                      cat="plancache",
+                                      geometry=cfg.label()):
+                    return self._build_entry_inner(cfg, spec, plan,
+                                                   positions)
+            return self._build_entry_inner(cfg, spec, plan, positions)
+        finally:
+            self.stats.record_build_ms(
+                "trace", (time.perf_counter() - t0) * 1e3)
 
     def _build_entry_inner(self, cfg, spec, plan, positions) -> _TraceEntry:
         self.stats.record_trace_build()

@@ -114,10 +114,20 @@ class Metric:
         raise NotImplementedError
 
     def label_sets(self) -> List[Dict[str, str]]:
+        """Label sets with at least one series, in snapshot order (sorted
+        by the series' label-key tuples — see :meth:`snapshot`)."""
         with self._lock:
-            return [dict(k) for k in self._series]
+            return [dict(k) for k in sorted(self._series)]
 
     def snapshot(self) -> dict:
+        """One metric's snapshot, in the documented stable order.
+
+        Series are sorted by their label-key tuples (label names and
+        values, both ascending), so two runs that record the same
+        observations produce byte-identical snapshots regardless of
+        insertion order — the property snapshot diffs and the
+        bench-compare flight recorder rely on.
+        """
         with self._lock:
             series = [{"labels": dict(key), **self._series_snapshot(s)}
                       for key, s in sorted(self._series.items())]
@@ -264,6 +274,16 @@ class MetricsRegistry:
         return self._register(Histogram, name, help,
                               reservoir_size=reservoir_size, seed=seed)
 
+    def windowed_histogram(self, name: str, help: str = "", **kwargs):
+        """A :class:`~repro.obs.timeseries.WindowedHistogram` — per-window
+        count/sum/min/max + quantile sketches on an injectable clock
+        (``window_ms= retention= clock= compression=`` keyword args;
+        see :mod:`repro.obs.timeseries`).  Like every other kind,
+        registration is idempotent: the first caller's window/clock
+        configuration wins."""
+        from repro.obs.timeseries import WindowedHistogram
+        return self._register(WindowedHistogram, name, help, **kwargs)
+
     def get(self, name: str) -> Optional[Metric]:
         with self._lock:
             return self._metrics.get(name)
@@ -277,7 +297,16 @@ class MetricsRegistry:
             return len(self._metrics)
 
     def snapshot(self) -> dict:
-        """``{metric_name: {kind, help, series: [{labels, ...}]}}``."""
+        """``{metric_name: {kind, help, series: [{labels, ...}]}}``.
+
+        **Stable order contract** (snapshot diffs and the bench-compare
+        flight recorder depend on it): metric names ascending, each
+        metric's series sorted by its label-key tuples (label names and
+        values ascending), and :meth:`to_json` serialises with
+        ``sort_keys=True`` — so two runs recording the same observations
+        emit byte-identical JSON regardless of registration or
+        observation interleaving.
+        """
         with self._lock:
             metrics = list(self._metrics.items())
         return {name: metric.snapshot() for name, metric in sorted(metrics)}
@@ -288,3 +317,105 @@ class MetricsRegistry:
     def write(self, path) -> None:
         with open(path, "w") as fh:
             fh.write(self.to_json() + "\n")
+
+    # ------------------------------------------------------------------
+    # Prometheus-style text exposition
+    # ------------------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """Prometheus-style text exposition of every metric.
+
+        Counters and gauges expose one sample per label set; histograms
+        and windowed histograms expose summary-style ``quantile`` samples
+        plus exact ``_count`` / ``_sum`` samples.  Windowed-histogram
+        quantiles aggregate the retained windows, and their worst
+        retained exemplar rides the p99 sample as an OpenMetrics-style
+        ``# {span_id="..."}`` annotation — the hook SLO tooling and
+        scrape-side dashboards use to jump into the trace.  Output order
+        follows the :meth:`snapshot` contract, so it is byte-stable.
+        """
+        return prometheus_from_snapshot(self.snapshot())
+
+    def write_prometheus(self, path) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_prometheus())
+
+
+def prometheus_from_snapshot(snapshot: Dict[str, dict]) -> str:
+    """Prometheus text exposition from a :meth:`MetricsRegistry.snapshot`
+    dict — live (what :meth:`MetricsRegistry.to_prometheus` passes) or
+    re-loaded from a ``metrics.json`` file (what ``repro metrics export``
+    passes), so any saved snapshot is scrapeable after the fact."""
+    lines: List[str] = []
+    for name, snap in sorted(snapshot.items()):
+        kind = snap["kind"]
+        prom_type = {"counter": "counter", "gauge": "gauge",
+                     "histogram": "summary",
+                     "windowed_histogram": "summary"}.get(kind, "untyped")
+        if snap.get("help"):
+            lines.append(f"# HELP {name} {snap['help']}")
+        lines.append(f"# TYPE {name} {prom_type}")
+        for series in snap["series"]:
+            labels = series["labels"]
+            if kind in ("counter", "gauge"):
+                lines.append(f"{name}{_fmt_labels(labels)} "
+                             f"{_fmt_value(series['value'])}")
+                continue
+            for q_key, q in (("p50", "0.5"), ("p95", "0.95"),
+                             ("p99", "0.99")):
+                value = series.get(q_key)
+                if value is None and kind == "windowed_histogram":
+                    value = _windowed_quantile(series, q_key)
+                sample = (f"{name}"
+                          f"{_fmt_labels(labels, quantile=q)} "
+                          f"{_fmt_value(value or 0.0)}")
+                if q_key == "p99":
+                    exemplar = _worst_exemplar(series)
+                    if exemplar is not None:
+                        sample += (f" # {{span_id=\""
+                                   f"{exemplar['span_id']}\"}} "
+                                   f"{_fmt_value(exemplar['value'])}")
+                lines.append(sample)
+            lines.append(f"{name}_count{_fmt_labels(labels)} "
+                         f"{_fmt_value(series['count'])}")
+            lines.append(f"{name}_sum{_fmt_labels(labels)} "
+                         f"{_fmt_value(series['sum'])}")
+    return "\n".join(lines) + "\n"
+
+
+def _fmt_value(value) -> str:
+    return f"{float(value):.10g}"
+
+
+def _escape_label(value: str) -> str:
+    return (str(value).replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _fmt_labels(labels: Dict[str, str], **extra) -> str:
+    items = sorted({**labels, **extra}.items())
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(v)}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def _windowed_quantile(series_snap: dict, q_key: str) -> float:
+    """Aggregate a windowed-histogram series snapshot to one quantile.
+
+    Snapshot-level fallback (count-weighted mean of per-window
+    quantiles); live series use the exact merged sketch instead.
+    """
+    wins = [w for w in series_snap.get("windows", []) if w.get("count")]
+    total = sum(w["count"] for w in wins)
+    if not total:
+        return 0.0
+    return sum(w[q_key] * w["count"] for w in wins) / total
+
+
+def _worst_exemplar(series_snap: dict) -> Optional[dict]:
+    worst = None
+    for win in series_snap.get("windows", []):
+        for ex in win.get("exemplars", []):
+            if worst is None or ex["value"] > worst["value"]:
+                worst = ex
+    return worst

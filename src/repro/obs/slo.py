@@ -1,0 +1,261 @@
+"""Declarative SLOs evaluated over windowed time series.
+
+An :class:`SLO` names a windowed-histogram metric on a
+:class:`~repro.obs.registry.MetricsRegistry` and states an objective:
+
+* ``objective="quantile"`` — *"p99 latency <= threshold_ms per window"*.
+  The implied error budget is the quantile's tail mass (p99 → 1% of
+  observations may exceed the threshold per window).
+* ``objective="availability"`` — *"at least ``target`` of observations
+  good per window"*, where good means value <= ``threshold_ms`` and,
+  when ``bad_metric`` is set, observations on that second windowed
+  series (e.g. failed/rejected requests, which never produce a latency
+  sample) count as bad outright.
+
+:func:`evaluate_slo` walks every retained window and produces an
+:class:`SLOReport`:
+
+* an **attainment curve** — one :class:`SLOWindow` row per window with
+  the observed quantile, the estimated bad fraction, the per-window burn
+  rate, attained/violated, and the exemplar span ids of the worst
+  observations (the :class:`~repro.obs.timeseries.Exemplar` links into
+  the Chrome trace — ``repro trace --open trace.json --span-id sNN``
+  jumps to the span);
+* **multi-window burn rates** — budget consumption over the most recent
+  1 window, the most recent 6, and all retained windows (the classic
+  fast/slow burn pair alerting policies page on);
+* **error-budget remaining** — the fraction of the total budget across
+  retained windows not yet consumed (can go negative).
+
+Burn rate follows the standard definition: ``bad_fraction /
+error_budget_fraction`` — 1.0 means exactly exhausting budget at this
+rate, >1 means burning faster than the SLO allows.
+
+``repro fleet run --slo`` evaluates the fleet's default SLOs and prints
+the attainment table; see docs/observability.md ("SLOs and burn rate").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timeseries import WindowedHistogram, WindowedSeries
+
+#: burn-rate lookback horizons (in windows) reported by every evaluation
+BURN_HORIZONS = (1, 6)
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One service-level objective over a windowed metric."""
+
+    name: str
+    metric: str                         # windowed-histogram metric name
+    threshold_ms: float                 # per-observation "good" bound
+    objective: str = "quantile"         # "quantile" | "availability"
+    quantile: float = 99.0              # used by objective="quantile"
+    target: float = 0.999               # used by objective="availability"
+    labels: Tuple[Tuple[str, str], ...] = ()
+    #: optional second windowed metric whose observations are all bad
+    #: (failures/rejections that never yield a latency sample)
+    bad_metric: Optional[str] = None
+
+    def __post_init__(self):
+        if self.objective not in ("quantile", "availability"):
+            raise ValueError(f"unknown SLO objective {self.objective!r}")
+        if not 0.0 < self.quantile < 100.0:
+            raise ValueError("quantile must be in (0, 100)")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError("target must be in (0, 1)")
+        if self.threshold_ms <= 0:
+            raise ValueError("threshold_ms must be positive")
+
+    @property
+    def budget_fraction(self) -> float:
+        """Allowed bad fraction per window (the error budget)."""
+        if self.objective == "quantile":
+            return 1.0 - self.quantile / 100.0
+        return 1.0 - self.target
+
+    def describe(self) -> str:
+        if self.objective == "quantile":
+            return (f"p{self.quantile:g}({self.metric}) <= "
+                    f"{self.threshold_ms:g} ms per window")
+        return (f"good({self.metric} <= {self.threshold_ms:g} ms) >= "
+                f"{100 * self.target:g}% per window")
+
+
+@dataclass
+class SLOWindow:
+    """One row of the attainment curve."""
+
+    start_ms: float
+    end_ms: float
+    count: int                  # total observations (incl. bad_metric)
+    bad: float                  # estimated bad observations
+    observed: float             # quantile value / availability fraction
+    attained: bool
+    burn_rate: float            # bad_fraction / budget_fraction
+    exemplar_span_ids: List[str] = field(default_factory=list)
+
+    def snapshot(self) -> dict:
+        return {
+            "window_start_ms": self.start_ms,
+            "window_end_ms": self.end_ms,
+            "count": self.count,
+            "bad": round(self.bad, 3),
+            "observed": self.observed,
+            "attained": self.attained,
+            "burn_rate": round(self.burn_rate, 4),
+            "exemplar_span_ids": list(self.exemplar_span_ids),
+        }
+
+
+@dataclass
+class SLOReport:
+    """Everything one SLO evaluation produced."""
+
+    slo: SLO
+    windows: List[SLOWindow]
+    burn_rates: Dict[str, float]        # "1w"/"6w"/"all" → burn rate
+    error_budget_remaining: float       # 1.0 = untouched, <0 = overdrawn
+
+    @property
+    def attainment(self) -> float:
+        """Fraction of non-empty windows that attained the objective."""
+        if not self.windows:
+            return 1.0
+        return sum(w.attained for w in self.windows) / len(self.windows)
+
+    @property
+    def violated_windows(self) -> List[SLOWindow]:
+        return [w for w in self.windows if not w.attained]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violated_windows
+
+    def snapshot(self) -> dict:
+        return {
+            "slo": self.slo.name,
+            "objective": self.slo.describe(),
+            "attainment": round(self.attainment, 4),
+            "burn_rates": {k: round(v, 4)
+                           for k, v in sorted(self.burn_rates.items())},
+            "error_budget_remaining": round(self.error_budget_remaining, 4),
+            "windows": [w.snapshot() for w in self.windows],
+        }
+
+
+def _series_for(registry: MetricsRegistry, name: str,
+                labels: Tuple[Tuple[str, str], ...]
+                ) -> Optional[WindowedSeries]:
+    metric = registry.get(name)
+    if metric is None:
+        return None
+    if not isinstance(metric, WindowedHistogram):
+        raise ValueError(
+            f"SLO metric {name!r} is a {metric.kind}, not a windowed "
+            f"histogram — SLOs need the time axis")
+    return metric.series(**dict(labels))
+
+
+def evaluate_slo(slo: SLO, registry: MetricsRegistry) -> SLOReport:
+    """Evaluate one SLO against the registry's retained windows."""
+    series = _series_for(registry, slo.metric, slo.labels)
+    if series is None or not len(series):
+        return SLOReport(slo, [], {f"{h}w": 0.0 for h in BURN_HORIZONS}
+                         | {"all": 0.0}, 1.0)
+    bad_series = (_series_for(registry, slo.bad_metric, slo.labels)
+                  if slo.bad_metric else None)
+    bad_by_index: Dict[int, int] = {}
+    if bad_series is not None:
+        for win in bad_series.windows():
+            bad_by_index[win.index] = win.count
+
+    budget = slo.budget_fraction
+    rows: List[SLOWindow] = []
+    for win in series.windows():
+        extra_bad = bad_by_index.pop(win.index, 0)
+        total = win.count + extra_bad
+        # estimated observations over the threshold, via the sketch CDF
+        over = win.count * (1.0 - win.sketch.cdf(slo.threshold_ms))
+        bad = over + extra_bad
+        bad_fraction = bad / total if total else 0.0
+        if slo.objective == "quantile":
+            observed = win.quantile(slo.quantile)
+            attained = bad_fraction <= budget + 1e-12
+        else:
+            observed = 1.0 - bad_fraction
+            attained = observed >= slo.target - 1e-12
+        # worst-first, deduped: one batch span can serve many requests
+        exemplars = list(dict.fromkeys(
+            e.span_id for e in win.exemplars
+            if e.value > slo.threshold_ms and e.span_id))
+        rows.append(SLOWindow(
+            start_ms=win.start_ms, end_ms=win.end_ms, count=total,
+            bad=bad, observed=observed, attained=attained,
+            burn_rate=(bad_fraction / budget) if budget > 0 else 0.0,
+            exemplar_span_ids=exemplars))
+    # windows where *only* failures landed (no latency samples at all)
+    for index, extra_bad in sorted(bad_by_index.items()):
+        if not extra_bad:
+            continue
+        start = index * series.window_ms
+        rows.append(SLOWindow(
+            start_ms=start, end_ms=start + series.window_ms,
+            count=extra_bad, bad=float(extra_bad),
+            observed=(float("inf") if slo.objective == "quantile" else 0.0),
+            attained=False,
+            burn_rate=(1.0 / budget) if budget > 0 else 0.0))
+    rows.sort(key=lambda w: w.start_ms)
+
+    burn_rates = {}
+    for horizon in BURN_HORIZONS:
+        burn_rates[f"{horizon}w"] = _burn_over(rows[-horizon:], budget)
+    burn_rates["all"] = _burn_over(rows, budget)
+    total_obs = sum(w.count for w in rows)
+    total_bad = sum(w.bad for w in rows)
+    budget_total = total_obs * budget
+    remaining = 1.0 - (total_bad / budget_total) if budget_total > 0 else 1.0
+    return SLOReport(slo, rows, burn_rates, remaining)
+
+
+def _burn_over(rows: List[SLOWindow], budget: float) -> float:
+    total = sum(w.count for w in rows)
+    bad = sum(w.bad for w in rows)
+    if not total or budget <= 0:
+        return 0.0
+    return (bad / total) / budget
+
+
+def evaluate_slos(slos: List[SLO],
+                  registry: MetricsRegistry) -> List[SLOReport]:
+    return [evaluate_slo(slo, registry) for slo in slos]
+
+
+def format_slo_table(report: SLOReport) -> str:
+    """The per-window attainment table ``repro fleet run --slo`` prints."""
+    from repro.pipeline.reporting import format_table
+
+    rows = []
+    for w in report.windows:
+        observed = ("inf" if w.observed == float("inf")
+                    else f"{w.observed:.3f}")
+        rows.append([
+            f"[{w.start_ms:g}, {w.end_ms:g})", w.count,
+            f"{w.bad:.1f}", observed, f"{w.burn_rate:.2f}",
+            "ok" if w.attained else "VIOLATED",
+            " ".join(w.exemplar_span_ids) or "-",
+        ])
+    burn = "  ".join(f"{k}={v:.2f}"
+                     for k, v in sorted(report.burn_rates.items()))
+    title = (f"SLO {report.slo.name}: {report.slo.describe()} — "
+             f"attainment {100 * report.attainment:.1f}%, "
+             f"budget remaining {100 * report.error_budget_remaining:.1f}%, "
+             f"burn [{burn}]")
+    header = ["window (ms)", "n", "bad", "observed", "burn", "status",
+              "exemplar spans"]
+    return format_table(header, rows, title=title)

@@ -50,6 +50,11 @@ class SpanTracer:
         self._stacks: Dict[int, List[str]] = {}
         #: flame aggregation: "a;b;c" -> [total_us, count]
         self._flame: Dict[str, List[float]] = {}
+        #: monotonically increasing span ids ("s1", "s2", ...) — the
+        #: handles exemplars carry so a violated SLO window can name the
+        #: exact span that served the offending request
+        self._next_span_id = 0
+        self._span_stacks: Dict[int, List[str]] = {}
 
     # ------------------------------------------------------------------
     # recording
@@ -73,13 +78,21 @@ class SpanTracer:
 
     @contextmanager
     def span(self, name: str, cat: str = "wall", **args):
-        """Open a nested wall-time span on the current thread."""
+        """Open a nested wall-time span on the current thread.
+
+        Every span gets a process-unique id (``"s1"``, ``"s2"``, ...)
+        recorded in its ``args`` — :meth:`current_span_id` reads the
+        innermost open one, which is what metric exemplars carry.
+        """
         with self._lock:
             tid = self._tid()
             stack = self._stacks.setdefault(tid, [])
             stack.append(name)
             path = ";".join(stack)
             ts = self._now_us()
+            self._next_span_id += 1
+            span_id = f"s{self._next_span_id}"
+            self._span_stacks.setdefault(tid, []).append(span_id)
         try:
             yield self
         finally:
@@ -88,12 +101,23 @@ class SpanTracer:
                 self._events.append({
                     "name": name, "cat": cat, "ph": "X",
                     "ts": ts, "dur": dur, "pid": WALL_PID, "tid": tid,
-                    "args": {str(k): v for k, v in args.items()},
+                    "args": {"span_id": span_id,
+                             **{str(k): v for k, v in args.items()}},
                 })
                 self._record_flame(path, dur)
                 stack = self._stacks.get(tid)
                 if stack and stack[-1] == name:
                     stack.pop()
+                ids = self._span_stacks.get(tid)
+                if ids and ids[-1] == span_id:
+                    ids.pop()
+
+    def current_span_id(self) -> Optional[str]:
+        """Id of the innermost span open on the current thread (or None)."""
+        with self._lock:
+            ids = self._span_stacks.get(self._tids.get(
+                threading.get_ident(), -1))
+            return ids[-1] if ids else None
 
     def record_kernel(self, stats) -> None:
         """Append one simulated kernel launch to the simGPU timeline.
@@ -183,20 +207,27 @@ class SpanTracer:
             json.dump(self.chrome_trace(), fh, indent=1, sort_keys=True)
             fh.write("\n")
 
-    def flame_summary(self, min_us: float = 0.0) -> str:
+    def flame_summary(self, min_us: float = 0.0,
+                      top: Optional[int] = None) -> str:
         """Aggregated text flame view: one line per span path.
 
         Host paths aggregate wall time; ``simGPU;...`` paths aggregate
         simulated time — the two units share the table but never mix in
-        one row.
+        one row.  Rows sort by total time descending with the span path
+        as a deterministic tie-break, so equal-duration rows (common
+        under fake clocks and in CI logs) always print in the same
+        order.  ``top`` keeps only the N largest rows after the
+        ``min_us`` filter.
         """
         with self._lock:
             rows = sorted(self._flame.items(),
                           key=lambda kv: (-kv[1][0], kv[0]))
+        kept = [(path, us, count) for path, (us, count) in rows
+                if us >= min_us]
+        if top is not None:
+            kept = kept[:max(0, int(top))]
         lines = ["flame summary (self+children us, count, path)"]
-        for path, (us, count) in rows:
-            if us < min_us:
-                continue
+        for path, us, count in kept:
             depth = path.count(";")
             leaf = path.rsplit(";", 1)[-1]
             lines.append(f"{us:12.1f}  {int(count):6d}  "

@@ -91,6 +91,86 @@ class TestServeAndTiles:
         assert main(["tiles", "import", "--store", other, dump]) == 0
         assert "imported 1 entries" in capsys.readouterr().out
 
+    def test_trace_open_lists_and_expands_spans(self, tmp_path, capsys):
+        import json
+
+        trace = {"traceEvents": [
+            {"ph": "X", "name": "fleet.batch", "cat": "fleet",
+             "ts": 10.0, "dur": 250.0, "pid": 1, "tid": 2,
+             "args": {"span_id": "s3", "worker": "w0"}},
+            {"ph": "X", "name": "fleet.batch", "cat": "fleet",
+             "ts": 300.0, "dur": 100.0, "pid": 1, "tid": 2,
+             "args": {"span_id": "s11"}},
+            {"ph": "M", "name": "process_name", "pid": 1, "tid": 0},
+        ]}
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(trace))
+
+        assert main(["trace", "--open", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "s3" in out and "s11" in out and "--span-id" in out
+
+        assert main(["trace", "--open", str(path), "--span-id", "s3"]) == 0
+        out = capsys.readouterr().out
+        assert "span s3: fleet.batch" in out
+        assert "worker: w0" in out and "dur: 250.0" in out
+
+        assert main(["trace", "--open", str(path),
+                     "--span-id", "s99"]) == 1
+        assert "no span 's99'" in capsys.readouterr().err
+
+    def test_trace_span_id_requires_open(self, capsys):
+        assert main(["trace", "--span-id", "s1"]) == 1
+        assert "--span-id requires --open" in capsys.readouterr().err
+
+    def test_metrics_export_prometheus(self, tmp_path, capsys):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("hits", help="cache hits").inc(4, backend="tex2d")
+        snap = tmp_path / "metrics.json"
+        reg.write(snap)
+
+        assert main(["metrics", "export", str(snap)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE hits counter" in out
+        assert 'hits{backend="tex2d"} 4' in out
+
+        dest = tmp_path / "metrics.prom"
+        assert main(["metrics", "export", str(snap),
+                     "--out", str(dest)]) == 0
+        assert "# TYPE hits counter" in dest.read_text()
+
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"not": "a snapshot"}')
+        assert main(["metrics", "export", str(bad)]) == 1
+        assert "not a metrics registry snapshot" in capsys.readouterr().err
+
+    def test_bench_compare_pass_and_regress(self, tmp_path, capsys):
+        import json
+
+        payload = {"schema_version": 1, "bench": "perf_model",
+                   "metrics": {"fused_serving": {"speedup": 2.6}}}
+        baseline = tmp_path / "baselines"
+        current = tmp_path / "results"
+        for d in (baseline, current):
+            d.mkdir()
+            (d / "BENCH_perf_model.json").write_text(json.dumps(payload))
+
+        assert main(["bench", "compare", str(baseline), str(current)]) == 0
+        assert "no tracked regressions" in capsys.readouterr().out
+
+        perturbed = dict(payload,
+                         metrics={"fused_serving": {"speedup": 1.0}})
+        (current / "BENCH_perf_model.json").write_text(
+            json.dumps(perturbed))
+        verdict = tmp_path / "verdict.json"
+        assert main(["bench", "compare", str(baseline), str(current),
+                     "--json-out", str(verdict)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert json.loads(verdict.read_text())["verdict"] == "regress"
+
     def test_serve_classify_reports_batching(self, tmp_path, capsys):
         store = str(tmp_path / "tiles.json")
         assert main(["serve", "--requests", "4", "--max-batch", "2",

@@ -573,3 +573,33 @@ class TestFleetCli:
         out = capsys.readouterr().out
         assert "futures audit: 5 submitted, 5 resolved, 0 unresolved" in out
         assert "Routing decisions" in out
+
+    def test_fleet_run_slo_prints_attainment_and_exemplars(self, tmp_path,
+                                                           capsys):
+        import json
+        import re
+
+        from repro.cli import main
+
+        trace = tmp_path / "trace.json"
+        assert main(["fleet", "run", "--requests", "8", "--max-batch", "2",
+                     "--slo", "--slo-p99-ms", "0.3",
+                     "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "SLO fleet-p99-latency" in out
+        assert "attainment" in out and "burn" in out
+        assert "VIOLATED" in out      # 0.3 ms sits below the sim tail
+        # every violated window names at least one exemplar span that
+        # exists in the exported trace
+        span_ids = set()
+        for line in out.splitlines():
+            if "VIOLATED" in line:
+                ids = re.findall(r"\bs\d+\b", line)
+                assert ids, line
+                span_ids.update(ids)
+        trace_ids = {e["args"]["span_id"]
+                     for e in json.loads(trace.read_text())["traceEvents"]
+                     if e.get("args", {}).get("span_id")}
+        assert span_ids <= trace_ids
+        # the hint points at trace --open for drill-down
+        assert "trace --open" in out

@@ -60,6 +60,62 @@ def test_reservoir_rejects_bad_capacity():
         BoundedReservoir(capacity=0)
 
 
+def test_reservoir_empty_percentile_is_zero():
+    res = BoundedReservoir(capacity=4, seed=0)
+    assert res.percentile(50) == 0.0
+    snap = res.snapshot()
+    assert snap["count"] == 0 and snap["sample_size"] == 0
+    assert snap["min"] == 0.0 and snap["max"] == 0.0
+    assert snap["mean"] == 0.0 and snap["p99"] == 0.0
+
+
+def test_reservoir_single_observation():
+    res = BoundedReservoir(capacity=4, seed=0)
+    res.add(7.5)
+    assert res.count == 1 and res.values() == [7.5]
+    assert res.min == 7.5 and res.max == 7.5 and res.mean == 7.5
+    for q in (0, 50, 100):
+        assert res.percentile(q) == 7.5
+
+
+def test_reservoir_exactly_at_capacity_keeps_everything():
+    res = BoundedReservoir(capacity=5, seed=0)
+    values = [9.0, 2.0, 4.0, 8.0, 6.0]
+    for v in values:
+        res.add(v)
+    # at exactly capacity nothing has been sampled out yet
+    assert res.values() == values
+    assert res.percentile(50) == pytest.approx(6.0)
+    # the very next add may displace, but never grows the sample
+    res.add(1.0)
+    assert len(res.values()) == 5
+    assert res.count == 6 and res.min == 1.0
+
+
+def test_reservoir_multithreaded_adds_stay_exact_and_bounded():
+    # interleaved add() under the histogram's lock: aggregates stay
+    # exact, the seeded sample stays bounded and drawn from real values
+    h = Histogram("lat", reservoir_size=8, seed=3)
+    per_thread = 400
+
+    def work(tid):
+        for i in range(per_thread):
+            h.observe(tid * per_thread + i)
+
+    threads = [threading.Thread(target=work, args=(t,)) for t in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    res = h.reservoir()
+    assert res.count == 4 * per_thread
+    assert res.total == pytest.approx(sum(range(4 * per_thread)))
+    assert res.min == 0.0 and res.max == 4 * per_thread - 1
+    sample = res.values()
+    assert len(sample) == 8
+    assert all(0.0 <= v < 4 * per_thread for v in sample)
+
+
 # ----------------------------------------------------------------------
 # metrics
 # ----------------------------------------------------------------------
@@ -125,6 +181,45 @@ def test_registry_snapshot_and_json(tmp_path):
     path = tmp_path / "metrics.json"
     reg.write(path)
     assert json.loads(path.read_text()) == json.loads(reg.to_json())
+
+
+def test_snapshot_json_is_byte_stable_across_insertion_order():
+    def build(order):
+        reg = MetricsRegistry()
+        for kind, name in order:
+            getattr(reg, kind)(name)
+        reg.get("hits").inc(3, backend="tex2d")
+        reg.get("hits").inc(1, backend="pytorch")
+        reg.get("depth").set(2)
+        reg.get("wait").observe(1.5, task="detect")
+        reg.get("wait").observe(0.5, task="classify")
+        return reg
+
+    a = build([("counter", "hits"), ("gauge", "depth"),
+               ("histogram", "wait")])
+    b = build([("histogram", "wait"), ("counter", "hits"),
+               ("gauge", "depth")])
+    # documented sort order (metric name, then label-key tuples) makes
+    # the serialised snapshot byte-identical regardless of creation or
+    # observation order
+    assert a.to_json() == b.to_json()
+    assert a.to_prometheus() == b.to_prometheus()
+
+
+def test_prometheus_exposition_basics():
+    reg = MetricsRegistry()
+    reg.counter("hits", help="tile cache hits").inc(5, backend="tex2d")
+    reg.gauge("depth").set(3)
+    reg.histogram("wait_ms").observe(2.0)
+    text = reg.to_prometheus()
+    assert "# HELP hits tile cache hits" in text
+    assert "# TYPE hits counter" in text
+    assert 'hits{backend="tex2d"} 5' in text
+    assert "# TYPE depth gauge" in text
+    assert "depth 3" in text
+    assert "# TYPE wait_ms summary" in text
+    assert "wait_ms_count 1" in text
+    assert text.endswith("\n")
 
 
 def test_metrics_thread_safety():
@@ -241,6 +336,25 @@ def test_trace_write_and_flame(tmp_path):
     # min_us filter drops the short kernel but keeps the long one
     filtered = tracer.flame_summary(min_us=1000.0)
     assert "tex2dpp_deform" in filtered and "offset_head" not in filtered
+
+
+def test_flame_top_and_deterministic_tiebreak():
+    tracer = SpanTracer(clock=FakeClock())
+    # three equal-duration kernels: only the path tie-break orders them
+    for name in ("zeta", "alpha", "midway"):
+        tracer.record_kernel(KernelStats(name=name, layer="l0",
+                                         duration_ms=1.0))
+    tracer.record_kernel(KernelStats(name="big", layer="l0",
+                                     duration_ms=9.0))
+    full = tracer.flame_summary()
+    order = [ln.split()[-1] for ln in full.splitlines()[1:]]
+    assert order == ["big", "alpha", "midway", "zeta"]
+    # --top keeps the N largest rows after sorting
+    top2 = tracer.flame_summary(top=2)
+    rows = top2.splitlines()[1:]
+    assert len(rows) == 2
+    assert [ln.split()[-1] for ln in rows] == ["big", "alpha"]
+    assert tracer.flame_summary(top=0).splitlines()[1:] == []
 
 
 def test_tracer_attach_to_profile_log():

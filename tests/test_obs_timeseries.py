@@ -1,0 +1,236 @@
+"""Unit tests for windowed time-series metrics (repro.obs.timeseries).
+
+The headline property: **windowed percentiles track exact offline
+percentiles within the sketch's error bounds** — the estimated quantile
+at q must lie between the exact percentiles at q ± eps.  Plus windowing
+semantics (injectable clock, ring retention, late-drop), exemplar
+retention, and the Prometheus exposition of windowed series.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs import (Exemplar, MetricsRegistry, QuantileSketch,
+                       WindowedHistogram, WindowedSeries)
+from repro.obs.timeseries import WindowStats, wall_clock_ms
+
+
+# ----------------------------------------------------------------------
+# QuantileSketch
+# ----------------------------------------------------------------------
+def _assert_quantiles_within_bounds(sketch, values, eps_pct=4.0):
+    """Estimated q must lie between exact percentiles at q -/+ eps."""
+    arr = np.asarray(values, dtype=np.float64)
+    for q in (1, 5, 25, 50, 75, 90, 95, 99):
+        lo = float(np.percentile(arr, max(0.0, q - eps_pct)))
+        hi = float(np.percentile(arr, min(100.0, q + eps_pct)))
+        est = sketch.quantile(q)
+        assert lo <= est <= hi, \
+            f"p{q}: estimate {est} outside exact [{lo}, {hi}]"
+
+
+def test_sketch_exact_aggregates():
+    sketch = QuantileSketch(compression=32)
+    values = [float(v) for v in range(5000, 0, -1)]
+    for v in values:
+        sketch.add(v)
+    assert sketch.count == 5000
+    assert sketch.total == pytest.approx(sum(values))
+    assert sketch.min == 1.0 and sketch.max == 5000.0
+    assert sketch.mean == pytest.approx(np.mean(values))
+    # memory stays O(compression), not O(n): tail centroids are singletons
+    # (weight limit clamps to 1), so the constant is bigger than 1 — but
+    # 10x more data must not mean 10x more centroids
+    first = sketch.num_centroids
+    assert first <= 8 * 32
+    for v in range(50000):
+        sketch.add(float(v % 5000) + 1.0)
+    assert sketch.num_centroids <= 8 * 32
+
+
+@pytest.mark.parametrize("dist", ["uniform", "lognormal", "bimodal"])
+def test_sketch_quantiles_within_error_bounds(dist):
+    rng = np.random.default_rng(7)
+    n = 20000
+    if dist == "uniform":
+        values = rng.uniform(0, 100, size=n)
+    elif dist == "lognormal":
+        values = rng.lognormal(mean=1.0, sigma=1.2, size=n)
+    else:
+        values = np.concatenate([rng.normal(5, 1, n // 2),
+                                 rng.normal(80, 5, n // 2)])
+    sketch = QuantileSketch(compression=64)
+    for v in values:
+        sketch.add(float(v))
+    _assert_quantiles_within_bounds(sketch, values)
+
+
+def test_sketch_extremes_and_empty():
+    sketch = QuantileSketch()
+    assert sketch.quantile(50) == 0.0       # empty → 0, not a crash
+    assert sketch.cdf(1.0) == 0.0
+    for v in (3.0, 1.0, 2.0):
+        sketch.add(v)
+    assert sketch.quantile(0) == 1.0        # exact min
+    assert sketch.quantile(100) == 3.0      # exact max
+
+
+def test_sketch_cdf_inverts_quantile():
+    rng = np.random.default_rng(3)
+    values = rng.uniform(0, 50, size=8000)
+    sketch = QuantileSketch(compression=64)
+    for v in values:
+        sketch.add(float(v))
+    for x in (5.0, 20.0, 45.0):
+        exact = float(np.mean(values <= x))
+        assert sketch.cdf(x) == pytest.approx(exact, abs=0.05)
+    assert sketch.cdf(-1.0) == 0.0
+    assert sketch.cdf(1e9) == 1.0
+
+
+def test_sketch_merge_matches_single_sketch_bounds():
+    rng = np.random.default_rng(11)
+    chunks = [rng.lognormal(size=3000) for _ in range(4)]
+    total = QuantileSketch(compression=64)
+    for chunk in chunks:
+        part = QuantileSketch(compression=64)
+        for v in chunk:
+            part.add(float(v))
+        total.merge(part)
+    values = np.concatenate(chunks)
+    assert total.count == len(values)
+    assert total.total == pytest.approx(values.sum())
+    _assert_quantiles_within_bounds(total, values, eps_pct=5.0)
+
+
+def test_sketch_rejects_tiny_compression():
+    with pytest.raises(ValueError):
+        QuantileSketch(compression=4)
+
+
+# ----------------------------------------------------------------------
+# WindowedSeries
+# ----------------------------------------------------------------------
+def test_series_buckets_by_timestamp():
+    series = WindowedSeries(window_ms=10.0, retention=8,
+                            clock=lambda: 0.0)
+    for ts, value in ((1.0, 5.0), (9.9, 6.0), (10.0, 7.0), (25.0, 8.0)):
+        series.observe(value, ts_ms=ts)
+    wins = series.windows()
+    assert [w.index for w in wins] == [0, 1, 2]
+    assert wins[0].count == 2 and wins[0].sum == 11.0
+    assert wins[1].count == 1 and wins[2].count == 1
+    assert (wins[0].start_ms, wins[0].end_ms) == (0.0, 10.0)
+    assert series.latest().index == 2
+    assert series.count == 4
+
+
+def test_series_uses_injected_clock_when_no_timestamp():
+    now = {"ms": 42.0}
+    series = WindowedSeries(window_ms=10.0, clock=lambda: now["ms"])
+    series.observe(1.0)
+    now["ms"] = 55.0
+    series.observe(2.0)
+    assert [w.index for w in series.windows()] == [4, 5]
+
+
+def test_series_ring_evicts_and_drops_late():
+    series = WindowedSeries(window_ms=1.0, retention=3,
+                            clock=lambda: 0.0)
+    for ts in (0.5, 1.5, 2.5, 3.5, 4.5):
+        series.observe(1.0, ts_ms=ts)
+    # only the 3 newest windows survive
+    assert [w.index for w in series.windows()] == [2, 3, 4]
+    assert series.evicted == 2
+    # a late observation older than the ring is dropped, not resurrected
+    series.observe(9.0, ts_ms=0.7)
+    assert series.dropped == 1
+    assert [w.index for w in series.windows()] == [2, 3, 4]
+    # memory bound holds under any input
+    assert len(series) <= 3
+
+
+def test_series_windowed_percentiles_match_offline_per_window():
+    rng = np.random.default_rng(5)
+    series = WindowedSeries(window_ms=100.0, retention=16,
+                            clock=lambda: 0.0, compression=64)
+    offline = {}
+    for win in range(4):
+        values = rng.lognormal(mean=win, sigma=0.8, size=4000)
+        offline[win] = values
+        for i, v in enumerate(values):
+            series.observe(float(v), ts_ms=win * 100.0 + (i % 100))
+    for stats in series.windows():
+        _assert_quantiles_within_bounds(stats.sketch, offline[stats.index])
+    # the merged roll-up also stays within bounds
+    everything = np.concatenate(list(offline.values()))
+    _assert_quantiles_within_bounds(series.total_sketch(), everything,
+                                    eps_pct=5.0)
+
+
+def test_series_quantile_series_shape():
+    series = WindowedSeries(window_ms=10.0, clock=lambda: 0.0)
+    series.observe(1.0, ts_ms=5.0)
+    series.observe(3.0, ts_ms=15.0)
+    pts = series.quantile_series(50)
+    assert pts == [(0.0, 1.0), (10.0, 3.0)]
+
+
+def test_window_exemplars_keep_worst():
+    win = WindowStats(0, 10.0, max_exemplars=2)
+    for i, v in enumerate((1.0, 9.0, 5.0, 7.0)):
+        win.observe(v, Exemplar(value=v, span_id=f"s{i}"))
+    kept = [(e.value, e.span_id) for e in win.exemplars]
+    assert kept == [(9.0, "s1"), (7.0, "s3")]
+    snap = win.snapshot()
+    assert snap["exemplars"][0]["span_id"] == "s1"
+
+
+def test_series_validation():
+    with pytest.raises(ValueError):
+        WindowedSeries(window_ms=0.0)
+    with pytest.raises(ValueError):
+        WindowedSeries(retention=0)
+
+
+def test_wall_clock_is_monotonic_ms():
+    a = wall_clock_ms()
+    b = wall_clock_ms()
+    assert b >= a
+
+
+# ----------------------------------------------------------------------
+# WindowedHistogram via the registry
+# ----------------------------------------------------------------------
+def test_registry_windowed_histogram_labels_and_idempotency():
+    reg = MetricsRegistry()
+    wh = reg.windowed_histogram("lat_ms", window_ms=10.0,
+                                clock=lambda: 0.0)
+    assert isinstance(wh, WindowedHistogram)
+    assert reg.windowed_histogram("lat_ms") is wh
+    with pytest.raises(ValueError):
+        reg.counter("lat_ms")
+    wh.observe(1.0, ts_ms=5.0, route="a")
+    wh.observe(2.0, ts_ms=5.0, route="b")
+    assert wh.count(route="a") == 1
+    assert wh.series(route="b").windows()[0].sum == 2.0
+    snap = reg.snapshot()["lat_ms"]
+    assert snap["kind"] == "windowed_histogram"
+    assert [s["labels"] for s in snap["series"]] == [{"route": "a"},
+                                                     {"route": "b"}]
+
+
+def test_windowed_histogram_in_prometheus_exposition():
+    reg = MetricsRegistry()
+    wh = reg.windowed_histogram("lat_ms", help="latency",
+                                window_ms=10.0, clock=lambda: 0.0)
+    for v in (1.0, 2.0, 30.0):
+        wh.observe(v, ts_ms=5.0,
+                   exemplar=Exemplar(value=v, span_id=f"s{int(v)}"))
+    text = reg.to_prometheus()
+    assert "# TYPE lat_ms summary" in text
+    assert 'lat_ms{quantile="0.5"}' in text
+    assert "lat_ms_count 3" in text
+    assert "lat_ms_sum 33" in text
+    # the worst exemplar rides the p99 sample
+    assert '# {span_id="s30"} 30' in text

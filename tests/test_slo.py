@@ -1,0 +1,203 @@
+"""Unit tests for the SLO engine (repro.obs.slo) and its fleet wiring."""
+
+import pytest
+
+from repro.obs import (SLO, Exemplar, MetricsRegistry, evaluate_slo,
+                       evaluate_slos, format_slo_table)
+
+
+def _latency_registry(window_ms=10.0):
+    reg = MetricsRegistry()
+    wh = reg.windowed_histogram("lat_ms", window_ms=window_ms,
+                                clock=lambda: 0.0)
+    return reg, wh
+
+
+# ----------------------------------------------------------------------
+# spec validation
+# ----------------------------------------------------------------------
+def test_slo_validation():
+    with pytest.raises(ValueError):
+        SLO("x", "m", threshold_ms=1.0, objective="latency")
+    with pytest.raises(ValueError):
+        SLO("x", "m", threshold_ms=1.0, quantile=100.0)
+    with pytest.raises(ValueError):
+        SLO("x", "m", threshold_ms=1.0, target=1.0)
+    with pytest.raises(ValueError):
+        SLO("x", "m", threshold_ms=0.0)
+
+
+def test_budget_fraction_and_describe():
+    q = SLO("q", "m", threshold_ms=5.0, objective="quantile", quantile=99.0)
+    a = SLO("a", "m", threshold_ms=5.0, objective="availability",
+            target=0.95)
+    assert q.budget_fraction == pytest.approx(0.01)
+    assert a.budget_fraction == pytest.approx(0.05)
+    assert "p99" in q.describe()
+    assert "95%" in a.describe()
+
+
+# ----------------------------------------------------------------------
+# evaluation
+# ----------------------------------------------------------------------
+def test_quantile_slo_attained_and_violated_windows():
+    reg, wh = _latency_registry()
+    # window 0: all fast; window 1: half the observations are slow
+    for _ in range(100):
+        wh.observe(1.0, ts_ms=5.0)
+    for i in range(100):
+        value = 1.0 if i % 2 == 0 else 50.0
+        wh.observe(value, ts_ms=15.0,
+                   exemplar=Exemplar(value=value, span_id=f"s{i}")
+                   if value > 1.0 else None)
+    slo = SLO("p99", "lat_ms", threshold_ms=10.0, objective="quantile",
+              quantile=99.0)
+    report = evaluate_slo(slo, reg)
+    assert len(report.windows) == 2
+    good, bad = report.windows
+    assert good.attained and good.bad == pytest.approx(0.0, abs=1e-6)
+    assert not bad.attained
+    assert bad.bad == pytest.approx(50.0, abs=2.0)
+    assert bad.observed > 10.0                    # per-window p99
+    assert bad.exemplar_span_ids                  # names concrete spans
+    assert report.attainment == pytest.approx(0.5)
+    assert not report.ok and report.violated_windows == [bad]
+
+
+def test_burn_rates_over_horizons():
+    reg, wh = _latency_registry()
+    # 7 clean windows then 1 fully-bad window
+    for win in range(7):
+        for _ in range(100):
+            wh.observe(1.0, ts_ms=win * 10.0 + 5.0)
+    for _ in range(100):
+        wh.observe(99.0, ts_ms=75.0)
+    slo = SLO("p99", "lat_ms", threshold_ms=10.0, quantile=99.0)
+    report = evaluate_slo(slo, reg)
+    # last window burns its entire budget 100x over; 6w dilutes by 6,
+    # all 8 windows dilute by 8
+    assert report.burn_rates["1w"] == pytest.approx(100.0, rel=0.05)
+    assert report.burn_rates["6w"] == pytest.approx(100.0 / 6, rel=0.05)
+    assert report.burn_rates["all"] == pytest.approx(100.0 / 8, rel=0.05)
+    assert report.error_budget_remaining < 0      # overdrawn
+
+
+def test_availability_slo_counts_bad_metric_failures():
+    reg, wh = _latency_registry()
+    failures = reg.windowed_histogram("fail", window_ms=10.0,
+                                      clock=lambda: 0.0)
+    for _ in range(98):
+        wh.observe(1.0, ts_ms=5.0)
+    failures.observe(1.0, ts_ms=5.0)
+    failures.observe(1.0, ts_ms=5.0)
+    slo = SLO("avail", "lat_ms", threshold_ms=10.0,
+              objective="availability", target=0.99, bad_metric="fail")
+    report = evaluate_slo(slo, reg)
+    (win,) = report.windows
+    assert win.count == 100                      # latency + failure obs
+    assert win.bad == pytest.approx(2.0)
+    assert win.observed == pytest.approx(0.98)
+    assert not win.attained                      # 98% < 99% target
+
+
+def test_failure_only_window_is_violated():
+    reg, wh = _latency_registry()
+    failures = reg.windowed_histogram("fail", window_ms=10.0,
+                                      clock=lambda: 0.0)
+    wh.observe(1.0, ts_ms=5.0)
+    failures.observe(1.0, ts_ms=25.0)   # a window with zero latency obs
+    slo = SLO("avail", "lat_ms", threshold_ms=10.0,
+              objective="availability", target=0.999, bad_metric="fail")
+    report = evaluate_slo(slo, reg)
+    assert len(report.windows) == 2
+    orphan = report.windows[1]
+    assert orphan.start_ms == 20.0 and not orphan.attained
+    assert orphan.count == 1 and orphan.bad == 1.0
+
+
+def test_empty_and_missing_metric():
+    reg, _ = _latency_registry()
+    slo = SLO("p99", "lat_ms", threshold_ms=10.0)
+    report = evaluate_slo(slo, reg)
+    assert report.windows == [] and report.ok
+    assert report.error_budget_remaining == 1.0
+    report = evaluate_slo(SLO("x", "nope", threshold_ms=1.0), reg)
+    assert report.ok
+
+
+def test_non_windowed_metric_is_an_error():
+    reg = MetricsRegistry()
+    reg.histogram("plain").observe(1.0)
+    with pytest.raises(ValueError, match="windowed"):
+        evaluate_slo(SLO("x", "plain", threshold_ms=1.0), reg)
+
+
+def test_report_snapshot_and_table():
+    reg, wh = _latency_registry()
+    for i in range(50):
+        wh.observe(99.0 if i < 5 else 1.0, ts_ms=5.0,
+                   exemplar=Exemplar(value=99.0, span_id="s7")
+                   if i < 5 else None)
+    slo = SLO("p99", "lat_ms", threshold_ms=10.0, quantile=99.0)
+    reports = evaluate_slos([slo], reg)
+    snap = reports[0].snapshot()
+    assert snap["slo"] == "p99" and snap["windows"]
+    assert set(snap["burn_rates"]) == {"1w", "6w", "all"}
+    table = format_slo_table(reports[0])
+    assert "VIOLATED" in table and "s7" in table
+    assert "attainment" in table and "burn" in table
+
+
+def test_exemplar_span_ids_deduped_worst_first():
+    reg, wh = _latency_registry()
+    for value, span in ((50.0, "sA"), (60.0, "sB"), (55.0, "sA"),
+                        (5.0, "sC")):
+        wh.observe(value, ts_ms=5.0,
+                   exemplar=Exemplar(value=value, span_id=span))
+    slo = SLO("p99", "lat_ms", threshold_ms=10.0, quantile=99.0)
+    (win,) = evaluate_slo(slo, reg).windows
+    # sC is under threshold; sA appears once despite two bad exemplars
+    assert win.exemplar_span_ids == ["sB", "sA"]
+
+
+# ----------------------------------------------------------------------
+# fleet wiring
+# ----------------------------------------------------------------------
+@pytest.mark.fleet
+def test_fleet_run_emits_windows_and_slo_exemplars():
+    import numpy as np
+
+    from repro.fleet import build_fleet, default_fleet_slos
+    from repro.models import build_classifier
+    from repro.nas import manual_interval_placement
+    from repro.obs import SpanTracer
+
+    model = build_classifier("r50s", input_size=32,
+                             placement=manual_interval_placement(9, 3),
+                             seed=0)
+    tracer = SpanTracer()
+    sched = build_fleet(model, ["xavier", "2080ti"], tracer=tracer,
+                        slo_window_ms=0.25)
+    rng = np.random.default_rng(0)
+    images = [rng.uniform(0, 1, size=(3, 32, 32)).astype(np.float32)
+              for _ in range(12)]
+    for img in images:
+        sched.submit(img)
+    sched.drain()
+    sched.close()
+
+    series = sched.registry.get("fleet_request_latency_ms").series()
+    assert series.count == 12
+    assert len(series.windows()) > 1     # windowed on the SimClock
+    # a threshold below the tail must yield violated windows whose
+    # exemplars name real tracer spans
+    reports = sched.evaluate_slos(default_fleet_slos(p99_ms=0.4))
+    latency_report = reports[0]
+    assert latency_report.violated_windows
+    span_ids = {sid for w in latency_report.violated_windows
+                for sid in w.exemplar_span_ids}
+    assert span_ids
+    trace_ids = {e["args"]["span_id"]
+                 for e in tracer.chrome_trace()["traceEvents"]
+                 if e.get("args", {}).get("span_id")}
+    assert span_ids <= trace_ids

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Standalone bench-regression flight recorder (what CI invokes).
+
+Thin wrapper over :mod:`repro.obs.flightrec` so the comparison runs
+without an installed package::
+
+    python tools/bench_compare.py results/baselines results \
+        --json-out results/flight_verdict.json
+
+Exit codes: 0 = no tracked regression, 1 = regression beyond threshold,
+2 = unusable inputs.  ``repro bench compare`` is the same engine behind
+the package CLI.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.flightrec import run_compare  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare BENCH_*.json snapshot sets; exit 1 on a "
+                    "tracked regression")
+    parser.add_argument("baseline", help="baseline file or directory")
+    parser.add_argument("current", help="current file or directory")
+    parser.add_argument("--json-out", default=None,
+                        help="write the verdict JSON here")
+    parser.add_argument("--markdown-out", default=None,
+                        help="write the markdown table here")
+    args = parser.parse_args(argv)
+    return run_compare(args.baseline, args.current,
+                       json_out=args.json_out,
+                       markdown_out=args.markdown_out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
