@@ -1,0 +1,187 @@
+"""Fleet sharding — the shard-aware cost router vs both fixed policies.
+
+Not a paper figure: intra-request parallelism layered on the fleet
+scheduler.  The shard planner prices row-band / channel-group splits of
+every deformable layer against a simulated interconnect (per-device-pair
+link latency + bandwidth, halo-exchange and output-shipping traffic from
+the actual tap footprints) and shards a batch only when the split's
+predicted completion beats serving it whole.  Two workload regimes pin
+the decision boundary from both sides:
+
+* **large** — a sequential stream of large-geometry requests on an
+  otherwise idle fleet: splits genuinely win (the peer is free, the
+  layer is big enough to amortise the scatter/gather), so the cost
+  policy must strictly beat always-single (``shard=off``) makespan;
+* **baseline** — the PR-5-style burst of small requests that keeps every
+  worker's queue busy: co-opting a peer steals time from its own queue,
+  so the cost policy must serve unsharded and strictly beat
+  always-max-split (``shard=always``) while never losing to ``off``.
+
+Across the two workloads combined, cost must strictly beat *both* fixed
+policies.  Every run also records its per-request shard-plan decision
+table — plan chosen, predicted vs simulated ms — in the bench JSON, so a
+routing regression shows up as data, not as a vibe.  All numbers are
+deterministic simulation (fixed seed, simulated clock); the committed
+``results/baselines/`` snapshot is gated by the flight recorder.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fleet import build_fleet
+from repro.models import build_classifier
+from repro.nas import manual_interval_placement
+
+from common import run_once, write_bench_json, write_result
+
+DEVICES = ("xavier", "2080ti")
+MODES = ("off", "cost", "always")
+
+#: large-geometry regime: few big requests, served one at a time
+LARGE_SIZE = 192
+LARGE_REQUESTS = 3
+
+#: baseline regime: the PR 5 fleet bench's burst of small requests
+BASE_SIZE = 32
+BASE_REQUESTS = 12
+BASE_MAX_BATCH = 2
+
+_EPS = 1e-9
+
+
+def _model(size: int):
+    return build_classifier("r50s", input_size=size,
+                            placement=manual_interval_placement(9, 3),
+                            bound=7.0, seed=0)
+
+
+def _decision_rows(sched):
+    return [{"worker": d["worker"], "plan": d["plan"], "kind": d["kind"],
+             "requests": d["requests"],
+             "predicted_ms": round(d["predicted_ms"], 4),
+             "simulated_ms": (round(d["simulated_ms"], 4)
+                              if d["simulated_ms"] is not None else None),
+             "applied": d["applied"]}
+            for d in sched.shard_decisions]
+
+
+def _serve(model, mode: str, images, sequential: bool,
+           max_batch: int) -> dict:
+    from repro.fleet import SimClock
+
+    clock = SimClock()
+    sched = build_fleet(model, DEVICES, shard=mode,
+                        max_batch_size=max_batch, seed=0, clock=clock)
+    futures = []
+    for img in images:
+        futures.append(sched.submit(img))
+        if sequential:
+            # latency-critical sparse stream: the next request arrives
+            # only after the fleet has gone fully idle again
+            sched.drain()
+            clock.advance_to(max(w.busy_until_ms for w in sched.workers))
+    sched.drain()
+    snap = sched.snapshot()
+    shard = snap.get("shard") or {}
+    return {
+        "makespan_ms": snap["makespan_ms"],
+        "completed": snap["completed"],
+        "unresolved": len(sched.unresolved()),
+        "futures_failed": sum(1 for f in futures
+                              if f.exception() is not None),
+        "sharded_batches": shard.get("sharded_batches", 0),
+        "plans_by_kind": shard.get("plans_by_kind", {}),
+        "traffic_bytes": shard.get("traffic_bytes", {}),
+        "decisions": _decision_rows(sched),
+    }
+
+
+def _workload(size: int, num: int, sequential: bool,
+              max_batch: int) -> dict:
+    model = _model(size)
+    rng = np.random.default_rng(0)
+    images = [rng.uniform(0, 1, size=(3, size, size)).astype(np.float32)
+              for _ in range(num)]
+    runs = {mode: _serve(model, mode, images, sequential, max_batch)
+            for mode in MODES}
+    cost = runs["cost"]["makespan_ms"]
+    runs["speedup_vs_single"] = round(
+        runs["off"]["makespan_ms"] / cost, 4) if cost else 0.0
+    runs["speedup_vs_always"] = round(
+        runs["always"]["makespan_ms"] / cost, 4) if cost else 0.0
+    return runs
+
+
+def regenerate():
+    large = _workload(LARGE_SIZE, LARGE_REQUESTS, sequential=True,
+                      max_batch=1)
+    baseline = _workload(BASE_SIZE, BASE_REQUESTS, sequential=False,
+                         max_batch=BASE_MAX_BATCH)
+
+    rows = []
+    for name, wl, n in (("large", large, LARGE_REQUESTS),
+                        ("baseline", baseline, BASE_REQUESTS)):
+        for mode in MODES:
+            r = wl[mode]
+            rows.append([name, mode, n, round(r["makespan_ms"], 3),
+                         r["sharded_batches"],
+                         " ".join(f"{k}={v}" for k, v in
+                                  sorted(r["plans_by_kind"].items()))
+                         or "-"])
+    from repro.pipeline import format_table
+    text = format_table(
+        ["workload", "shard mode", "reqs", "makespan (sim ms)",
+         "sharded batches", "plans by kind"], rows,
+        title=f"Fleet sharding — {LARGE_SIZE}px sequential vs "
+              f"{BASE_SIZE}px burst across {'+'.join(DEVICES)} (tex2D++)")
+    write_result("fleet_sharding", text)
+    write_bench_json(
+        "fleet_sharding",
+        {"large": large, "baseline": baseline,
+         "large_size": LARGE_SIZE, "base_size": BASE_SIZE},
+        device="jetson-agx-xavier+rtx-2080ti", backend="tex2dpp")
+    return large, baseline
+
+
+@pytest.mark.fleet
+@pytest.mark.slow
+def test_fleet_sharding_bench(benchmark):
+    large, baseline = run_once(benchmark, regenerate)
+
+    # every mode finishes every request with nothing lost
+    for wl, n in ((large, LARGE_REQUESTS), (baseline, BASE_REQUESTS)):
+        for mode in MODES:
+            r = wl[mode]
+            assert r["completed"] == n, (mode, r)
+            assert r["unresolved"] == 0 and r["futures_failed"] == 0, \
+                (mode, r)
+
+    # large geometry, idle peer: cost shards and strictly beats
+    # always-single; it never does worse than always-max-split
+    assert large["cost"]["sharded_batches"] > 0, large["cost"]
+    assert large["cost"]["makespan_ms"] < large["off"]["makespan_ms"], large
+    assert (large["cost"]["makespan_ms"]
+            <= large["always"]["makespan_ms"] + _EPS), large
+
+    # baseline burst: splitting steals queue time from the peer, so cost
+    # must decline it — never losing to off, strictly beating always
+    assert (baseline["cost"]["makespan_ms"]
+            <= baseline["off"]["makespan_ms"] + _EPS), baseline
+    assert (baseline["cost"]["makespan_ms"]
+            < baseline["always"]["makespan_ms"]), baseline
+
+    # across both workloads the cost policy strictly beats BOTH fixed
+    # policies on total makespan
+    cost = large["cost"]["makespan_ms"] + baseline["cost"]["makespan_ms"]
+    single = large["off"]["makespan_ms"] + baseline["off"]["makespan_ms"]
+    always = (large["always"]["makespan_ms"]
+              + baseline["always"]["makespan_ms"])
+    assert cost < single and cost < always, (cost, single, always)
+
+    # the decision table records every shard decision with its prediction;
+    # applied (sharded) batches also carry the simulated outcome
+    for wl in (large, baseline):
+        for d in wl["cost"]["decisions"]:
+            assert d["plan"] and d["predicted_ms"] >= 0.0, d
+            if d["applied"]:
+                assert d["simulated_ms"] is not None, d

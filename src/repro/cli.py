@@ -75,6 +75,17 @@ def cmd_devices(args) -> int:
         ["device", "SMs", "clock (GHz)", "DRAM (GB/s)", "tex $ (KB/SM)",
          "peak (TFLOP/s)", f"DCN {cfg.label()} (ms)"], rows,
         title=f"Simulated GPU presets — DCN column on {args.backend}"))
+
+    from repro.fleet import default_interconnect
+    ic = default_interconnect(list(DEVICES.values()))
+    ic_rows = [[r["pair"], f"{r['latency_ms']:.3f}",
+                f"{r['bandwidth_gbps']:.1f}"]
+               for r in ic.rows([s.name for s in DEVICES.values()])]
+    print("\n" + format_table(
+        ["device pair", "link latency (ms)", "link bandwidth (GB/s)"],
+        ic_rows,
+        title="Default interconnect — links the fleet shard planner "
+              "prices transfers over"))
     return 0
 
 
@@ -591,6 +602,7 @@ def _build_fleet_from_args(args):
         execution="fused" if getattr(args, "fused", False) else "eager",
         slo_window_ms=(getattr(args, "slo_window", None)
                        or DEFAULT_SLO_WINDOW_MS),
+        shard=getattr(args, "shard", "off"),
         **task_kwargs)
     return sched, registry, tracer
 
@@ -618,6 +630,18 @@ def cmd_fleet(args) -> int:
          "predicted ms", "ECT ms"], plan_rows,
         title=f"Fleet routing view — router={sched.router.name}, "
               f"one {args.input_size}px {args.task} request"))
+    if sched.shard_planner is not None:
+        srows = [[p.label, p.kind, len(p.assignments) or 1,
+                  round(p.predicted_ms, 3)]
+                 for p in sorted(
+                     sched.shard_planner.plan_space(
+                         sched.workers, image.shape, 1,
+                         sched.clock.now_ms),
+                     key=lambda p: (p.predicted_ms, p.label))]
+        print("\n" + format_table(
+            ["plan", "kind", "workers", "predicted ms"], srows,
+            title=f"Shard plan space — mode={sched.shard_planner.mode}, "
+                  f"cheapest wins at serve time"))
     if args.action == "plan":
         print("\nlowest expected completion time wins; `fleet run` serves "
               "a full request stream through this router.")
@@ -640,6 +664,19 @@ def cmd_fleet(args) -> int:
         dec_rows,
         title=f"Routing decisions (first {len(shown)} of "
               f"{len(sched.decisions)})"))
+
+    if sched.shard_decisions:
+        sd_rows = [[d["worker"], d["plan"], d["kind"], d["requests"],
+                    d["predicted_ms"],
+                    d["simulated_ms"] if d["simulated_ms"] is not None
+                    else "-",
+                    "yes" if d["applied"] else "no"]
+                   for d in sched.shard_decisions[:args.show_decisions]]
+        print("\n" + format_table(
+            ["coordinator", "plan", "kind", "reqs", "predicted ms",
+             "simulated ms", "sharded"], sd_rows,
+            title=f"Shard decisions (first {len(sd_rows)} of "
+                  f"{len(sched.shard_decisions)})"))
 
     snap = sched.snapshot()
     worker_rows = [[w["worker"], w["device"], w["backend"], w["breaker"],
@@ -836,7 +873,15 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_common.add_argument("--backend", default="tex2dpp",
                               choices=["pytorch", "tex2d", "tex2dpp"])
     fleet_common.add_argument("--router", default="cost",
-                              choices=["cost", "round-robin", "random"])
+                              choices=["cost", "shard-cost", "round-robin",
+                                       "random"])
+    fleet_common.add_argument("--shard", default="off",
+                              choices=["off", "cost", "always"],
+                              help="intra-request parallelism: split "
+                                   "deformable layers across workers when "
+                                   "the interconnect-aware cost model says "
+                                   "it wins (cost), always take the widest "
+                                   "split (always), or never (off)")
     fleet_common.add_argument("--arch", default="r50s")
     fleet_common.add_argument("--task", default="classify",
                               choices=["classify", "detect"])

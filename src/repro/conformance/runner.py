@@ -13,6 +13,10 @@ through the full check catalogue:
 ``plancache.bit_identical.*``  cached (cold + warm) runs reproduce the
                                uncached outputs and perf counters bit
                                for bit
+``shard.bit_identical.*``      row-band and channel-group shard splits,
+                               stitched back, reproduce the unsharded
+                               output bit for bit (cold + warm shard
+                               plan cache)
 ``stats.output_independent.*`` ``compute_output=False`` yields the same
                                perf counters as a full run
 ``inv.*``                      metamorphic invariants — see
@@ -81,6 +85,7 @@ class ConformanceRunner:
             ("oracle", lambda: self._differential(arrays, cfg, tile)),
             ("plancache", lambda: self._plan_cache_checks(
                 arrays, cfg, tile)),
+            ("shard", lambda: self._shard_checks(arrays, cfg, tile)),
             ("inv.zero_offset", lambda: invariants.check_zero_offset(
                 arrays, cfg, self.spec, tile, plan_cache=self.plan_cache)),
             ("inv.integer_offsets",
@@ -197,6 +202,48 @@ class ConformanceRunner:
             results.append(CheckResult(
                 f"plancache.fused_bit_identical.{bk}",
                 passed=fused_out and fused_stats, detail=detail))
+        return results
+
+    # ------------------------------------------------------------------
+    def _shard_checks(self, arrays, cfg, tile) -> List[CheckResult]:
+        """Sharded execution transparency: a layer split into row bands or
+        channel groups, stitched back (:func:`stitch_columns`), must
+        reproduce the unsharded output bit for bit — on a cold shard plan
+        cache and again on a warm one."""
+        from repro.kernels.shards import (enumerate_shards, run_shard,
+                                          stitch_columns)
+
+        x, off = arrays["x"], arrays["offset"]
+        w, b = arrays["weight"], arrays["bias"]
+        results = []
+        for bk in TEX_BACKENDS:
+            base = run_deform_op(bk, x, off, w, b, cfg, self.spec,
+                                 tile=tile, plan_cache=None).output
+            fp16 = bk == "tex2dpp"
+            for kind in ("rows", "channels"):
+                total = (cfg.out_height if kind == "rows"
+                         else cfg.in_channels // cfg.deformable_groups)
+                if total < 2 or cfg.in_channels % cfg.deformable_groups:
+                    results.append(CheckResult(
+                        f"shard.bit_identical.{bk}.{kind}", True,
+                        detail="layer not splittable — vacuous"))
+                    continue
+                pc = PlanCache(max_entries=8)
+                ok, detail = True, ""
+                for run in ("cold", "warm"):
+                    shards = [s for s in enumerate_shards(cfg, kind, (2, 1))
+                              if s is not None]
+                    rs = [run_shard(x, off, cfg, self.spec, s, tile=tile,
+                                    fp16_offsets=fp16, plan_cache=pc)
+                          for s in shards]
+                    out = stitch_columns(rs, w, b, cfg, self.spec).output
+                    if not np.array_equal(out, base):
+                        ok, detail = False, (f"{run}-cache stitched output "
+                                             f"differs from unsharded")
+                        break
+                results.append(CheckResult(
+                    f"shard.bit_identical.{bk}.{kind}", passed=ok,
+                    detail=detail))
         return results
 
     # ------------------------------------------------------------------

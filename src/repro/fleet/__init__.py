@@ -19,18 +19,23 @@ from repro.fleet.queueing import (REASON_CLOSED, REASON_EXPIRED,
                                   FleetRejection, FleetRequest)
 from repro.fleet.router import (CostModelRouter, EngineCostModel,
                                 RandomRouter, Router, RoundRobinRouter,
-                                make_router)
+                                ShardAwareCostRouter, make_router)
 from repro.fleet.scheduler import (FleetScheduler, SimClock, build_fleet,
                                    default_fleet_slos)
+from repro.fleet.shard import (Interconnect, LinkSpec, ShardContext,
+                               ShardPlan, ShardPlanner,
+                               default_interconnect)
 from repro.fleet.worker import BatchOutcome, FleetWorker
 
 __all__ = [
     "BatchOutcome", "BoundedDeadlineQueue", "CircuitBreaker",
     "CostModelRouter", "EngineCostModel", "FaultInjector", "FaultSpec",
     "FaultyEngine", "FleetRejection", "FleetRequest", "FleetScheduler",
-    "FleetWorker", "RandomRouter", "Router", "RoundRobinRouter", "SimClock",
+    "FleetWorker", "Interconnect", "LinkSpec", "RandomRouter", "Router",
+    "RoundRobinRouter", "ShardAwareCostRouter", "ShardContext", "ShardPlan",
+    "ShardPlanner", "SimClock",
     "WorkerCrashed", "WorkerWedged", "build_fleet", "default_fleet_slos",
-    "make_router",
+    "default_interconnect", "make_router",
     "parse_fault", "CLOSED", "OPEN", "HALF_OPEN",
     "REASON_CLOSED", "REASON_EXPIRED", "REASON_NO_WORKER",
     "REASON_QUEUE_FULL", "REASON_RETRIES",

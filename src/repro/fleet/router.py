@@ -42,6 +42,9 @@ class EngineCostModel:
     steady-state routing costs a dict lookup.
     """
 
+    #: the shard planner checks this before passing ``shard=`` descriptors
+    supports_shards = True
+
     def __init__(self, engine, backend: Optional[str] = None):
         from repro.deform.layers import DeformConv2d
 
@@ -56,32 +59,125 @@ class EngineCostModel:
                     self._sites.append(spec_site.layer_config())
         self._nominal = getattr(model, "input_size",
                                 getattr(backbone, "input_size", None))
-        self._cache: Dict[Tuple[Tuple[int, ...], int], float] = {}
+        #: (shape, batch, shard descriptor | None) → predicted ms.  The
+        #: shard descriptor is part of the key so a split-layer prediction
+        #: can never collide with (or be served as) a whole-layer one.
+        self._cache: Dict[Tuple[Tuple[int, ...], int, Optional[tuple]],
+                          float] = {}
+        self._site_cache: Dict[Tuple[Tuple[int, ...], int], list] = {}
+        self._split_cache: Dict[Tuple[Tuple[int, ...], int],
+                                List[Tuple[float, float]]] = {}
+        self._shard_site_cache: Dict[tuple,
+                                     List[Tuple[float, float]]] = {}
 
-    def __call__(self, shape: Tuple[int, ...], batch: int = 1) -> float:
-        from repro.nas.latency_table import deform_latency_ms
+    def site_configs(self, shape: Tuple[int, ...], batch: int = 1) -> list:
+        """The model's deformable sites scaled to this request's extent."""
+        key = (tuple(shape), int(batch))
+        cached = self._site_cache.get(key)
+        if cached is not None:
+            return cached
+        scale = 1.0
+        if self._nominal and len(shape) == 3:
+            scale = shape[-1] / float(self._nominal)
+        cfgs = [replace(cfg,
+                        height=max(4, int(round(cfg.height * scale))),
+                        width=max(4, int(round(cfg.width * scale))),
+                        batch=batch)
+                for cfg in self._sites]
+        self._site_cache[key] = cfgs
+        return cfgs
+
+    def site_split_ms(self, shape: Tuple[int, ...],
+                      batch: int = 1) -> List[Tuple[float, float]]:
+        """Per-site (sampling ms, GEMM ms) on this device and backend.
+
+        The shard planner prices a split from the halves: the sampling
+        kernel divides across shard workers while the GEMM stays whole at
+        the stitch.  A model with no deformable sites prices as one
+        pseudo-site of ``float(batch)`` sampling ms (matching the
+        whole-layer fallback).
+        """
+        from repro.nas.latency_table import deform_latency_split_ms
 
         key = (tuple(shape), int(batch))
-        cached = self._cache.get(key)
+        cached = self._split_cache.get(key)
         if cached is not None:
             return cached
         if not self._sites:
-            # no deformable layers to model — fall back to a constant so
-            # ECT still reflects queue depth
-            ms = float(batch)
+            splits = [(float(batch), 0.0)]
         else:
-            scale = 1.0
-            if self._nominal and len(shape) == 3:
-                scale = shape[-1] / float(self._nominal)
-            ms = 0.0
-            for cfg in self._sites:
-                scaled = replace(
-                    cfg,
-                    height=max(4, int(round(cfg.height * scale))),
-                    width=max(4, int(round(cfg.width * scale))),
-                    batch=batch)
-                ms += deform_latency_ms(scaled, self.spec,
-                                        backend=self.backend)
+            splits = [deform_latency_split_ms(cfg, self.spec,
+                                              backend=self.backend)
+                      for cfg in self.site_configs(shape, batch)]
+        self._split_cache[key] = splits
+        return splits
+
+    def shard_site_ms(self, shape: Tuple[int, ...], batch: int, kind: str,
+                      nums: Tuple[int, ...],
+                      index: int) -> List[Tuple[float, float]]:
+        """Per-site (sampling ms, GEMM ms) of *this worker's* shard.
+
+        ``nums`` are the plan's integer band weights and ``index`` this
+        worker's position; the shard bounds per site come from the same
+        :func:`~repro.kernels.shards.band_bounds` rounding the executor
+        uses, and each shard is priced by actually running
+        :func:`~repro.kernels.shards.run_shard` on synthetic offsets
+        (:func:`~repro.nas.latency_table.deform_shard_latency_split_ms`)
+        — exact launch grids, not fraction-scaled approximations.  Sites
+        where this worker's band rounds empty price as (0, 0).
+        """
+        from repro.kernels.shards import ShardSpec, band_bounds
+        from repro.nas.latency_table import deform_shard_latency_split_ms
+
+        key = (tuple(shape), int(batch), str(kind), tuple(nums), int(index))
+        cached = self._shard_site_cache.get(key)
+        if cached is not None:
+            return cached
+        out: List[Tuple[float, float]] = []
+        for cfg in self.site_configs(shape, batch):
+            total = (cfg.out_height if kind == "rows"
+                     else cfg.in_channels // max(1, cfg.deformable_groups))
+            lo, hi = band_bounds(total, nums)[index]
+            if hi <= lo:
+                out.append((0.0, 0.0))
+                continue
+            shard = ShardSpec(kind, index, len(nums), lo, hi)
+            out.append(deform_shard_latency_split_ms(
+                cfg, self.spec, shard, backend=self.backend))
+        self._shard_site_cache[key] = out
+        return out
+
+    def __call__(self, shape: Tuple[int, ...], batch: int = 1,
+                 shard: Optional[tuple] = None) -> float:
+        """Predicted ms for (shape, batch), optionally for one shard of it.
+
+        ``shard`` descriptors (all hashable, all part of the memo key):
+
+        * ``None`` — the whole model, sampling + GEMM (the original ECT
+          predictor);
+        * ``("rows"|"channels", num, den)`` — the ``num/den`` fraction of
+          every site's sampling *and* GEMM (a shard worker computes its
+          band's gather/blend plus its own slice of the contraction);
+        * ``("stage", lo, hi)`` — sites ``[lo, hi)`` whole (one pipeline
+          stage).
+        """
+        if shard is not None:
+            shard = tuple(shard)
+        key = (tuple(shape), int(batch), shard)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        splits = self.site_split_ms(shape, batch)
+        if shard is None:
+            ms = sum(s + g for s, g in splits)
+        elif shard[0] in ("rows", "channels"):
+            _, num, den = shard
+            ms = sum(s + g for s, g in splits) * (num / float(den))
+        elif shard[0] == "stage":
+            _, lo, hi = shard
+            ms = sum(s + g for s, g in splits[int(lo):int(hi)])
+        else:
+            raise ValueError(f"unknown shard descriptor {shard!r}")
         self._cache[key] = ms
         return ms
 
@@ -112,6 +208,50 @@ class CostModelRouter(Router):
         return min(candidates,
                    key=lambda w: (w.estimated_completion_ms(shape, now_ms),
                                   w.name))
+
+
+class ShardAwareCostRouter(CostModelRouter):
+    """Cost routing over a plan space that includes sharded splits.
+
+    With a bound :class:`~repro.fleet.shard.ShardPlanner` the router
+    prices every plan the planner can emit for this request — single
+    workers, row-band and channel-group splits, pipeline stages — and
+    places the request on the cheapest plan's *coordinator* (the split
+    itself is resolved again at serve time against live device
+    timelines).  ``ect_table`` carries the sharded plan rows alongside
+    the per-worker ECTs (``plan:<label>`` keys), so the ``repro fleet
+    plan`` view and the bench decision table show exactly what the
+    router compared.  Unbound (``planner=None``) it degrades to plain
+    cost routing.
+    """
+
+    name = "shard-cost"
+
+    def __init__(self, planner=None):
+        self.planner = planner
+
+    def bind_planner(self, planner) -> "ShardAwareCostRouter":
+        self.planner = planner
+        return self
+
+    def choose(self, candidates, shape, now_ms):
+        if self.planner is not None:
+            plan = self.planner.best_plan(candidates, shape, 1, now_ms)
+            if plan is not None:
+                by_name = {w.name: w for w in candidates}
+                coord = by_name.get(plan.coordinator)
+                if coord is not None:
+                    return coord
+        return super().choose(candidates, shape, now_ms)
+
+    def ect_table(self, candidates, shape, now_ms):
+        table = super().ect_table(candidates, shape, now_ms)
+        if self.planner is not None:
+            for plan in self.planner.plan_space(candidates, shape, 1,
+                                                now_ms):
+                if plan.kind != "single":
+                    table[f"plan:{plan.label}"] = plan.predicted_ms
+        return table
 
 
 class RoundRobinRouter(Router):
@@ -149,6 +289,7 @@ def make_router(policy, seed: int = 0) -> Router:
         return policy
     table = {
         "cost": CostModelRouter,
+        "shard-cost": ShardAwareCostRouter,
         "round-robin": RoundRobinRouter,
         "roundrobin": RoundRobinRouter,
         "random": lambda: RandomRouter(seed=seed),
@@ -157,5 +298,6 @@ def make_router(policy, seed: int = 0) -> Router:
         factory = table[str(policy)]
     except KeyError:
         raise ValueError(f"unknown routing policy {policy!r}; choose from "
-                         f"('cost', 'round-robin', 'random')") from None
+                         f"('cost', 'shard-cost', 'round-robin', "
+                         f"'random')") from None
     return factory()

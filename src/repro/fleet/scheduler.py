@@ -102,7 +102,8 @@ class FleetScheduler:
                  registry: Optional[MetricsRegistry] = None,
                  tracer=None, max_attempts: int = 3, seed: int = 0,
                  slo_window_ms: float = DEFAULT_SLO_WINDOW_MS,
-                 slo_retention: int = DEFAULT_SLO_RETENTION):
+                 slo_retention: int = DEFAULT_SLO_RETENTION,
+                 shard_planner=None, interconnect=None):
         if not workers:
             raise ValueError("a fleet needs at least one worker")
         names = [w.name for w in workers]
@@ -117,6 +118,19 @@ class FleetScheduler:
             else MetricsRegistry()
         self.tracer = tracer
         self.max_attempts = max_attempts
+        #: intra-request parallelism (None = sharding off); the planner
+        #: resolves a plan per batch at serve time, and a shard-aware
+        #: router additionally prices split plans at routing time
+        self.shard_planner = shard_planner
+        self.interconnect = interconnect if interconnect is not None \
+            else getattr(shard_planner, "interconnect", None)
+        if shard_planner is not None \
+                and hasattr(self.router, "bind_planner") \
+                and getattr(self.router, "planner", None) is None:
+            self.router.bind_planner(shard_planner)
+        #: every serve-time shard-plan resolution, in order — the bench's
+        #: per-request decision table
+        self.shard_decisions: List[dict] = []
         #: every routing decision, in order — the ``repro fleet plan`` view
         self.decisions: List[dict] = []
         #: every request ever submitted (futures audited by tests/bench)
@@ -161,6 +175,22 @@ class FleetScheduler:
                  "the value is the sim-ms from submit to resolution",
             window_ms=slo_window_ms, retention=slo_retention,
             clock=lambda: self.clock.now_ms)
+        self._shard_plans = self.registry.counter(
+            "fleet_shard_plans",
+            help="serve-time shard-plan resolutions by plan kind")
+        self._shard_batches = self.registry.counter(
+            "fleet_shard_batches",
+            help="batches actually served through a sharded plan")
+        self._shard_traffic = self.registry.counter(
+            "fleet_shard_traffic_bytes",
+            help="interconnect bytes moved by sharded batches, by "
+                 "direction (scatter/gather)")
+        self._shard_halo = self.registry.counter(
+            "fleet_shard_halo_rows",
+            help="deformation-halo input rows shipped by row-band shards")
+        self._shard_sim_ms = self.registry.histogram(
+            "fleet_shard_sim_ms",
+            help="simulated duration of sharded batches (ms)")
 
     # ------------------------------------------------------------------
     # submission + routing
@@ -291,9 +321,12 @@ class FleetScheduler:
             return True
 
         batch = worker.queue.pop_batch(worker.max_batch_size)
-        outcome = worker.serve_batch(batch, start)
+        ctx = self._plan_shards(worker, batch, start)
+        outcome = worker.serve_batch(batch, start, shard_ctx=ctx)
         worker.busy_until_ms = start + outcome.sim_ms
         done = worker.busy_until_ms
+        if ctx is not None:
+            self._finish_shards(ctx, outcome)
         if outcome.ok:
             for r, res in zip(batch, outcome.results):
                 if not r.future.done():
@@ -313,6 +346,65 @@ class FleetScheduler:
             for r in batch:
                 self._handle_failure(r, worker, outcome.error, done)
         return True
+
+    def _plan_shards(self, worker: FleetWorker, batch: List[FleetRequest],
+                     start: float):
+        """Resolve the serve-time shard plan for one batch.
+
+        Returns a :class:`~repro.fleet.shard.ShardContext` when the plan
+        actually splits work (None for unsharded serving — including
+        ``kind="single"`` resolutions, which are still recorded so the
+        decision table shows why the planner kept the batch local).
+        """
+        if self.shard_planner is None:
+            return None
+        plan = self.shard_planner.resolve(self.workers, worker,
+                                          batch[0].shape, len(batch), start)
+        if plan is None:
+            return None
+        from repro.fleet.shard import ShardContext
+
+        self._shard_plans.inc(kind=plan.kind)
+        row = {"requests": [r.id for r in batch],
+               "sim_ms": round(start, 3),
+               "worker": worker.name,
+               "plan": plan.label,
+               "kind": plan.kind,
+               "workers": list(plan.workers),
+               "predicted_ms": round(plan.predicted_ms, 3),
+               "simulated_ms": None,
+               "applied": False}
+        self.shard_decisions.append(row)
+        if plan.kind == "single":
+            return None
+        ctx = ShardContext(plan, {w.name: w for w in self.workers},
+                           self.interconnect, start, batch=len(batch),
+                           tracer=self.tracer)
+        ctx.decision_row = row
+        return ctx
+
+    def _finish_shards(self, ctx, outcome) -> None:
+        """Account a sharded serve: participant timelines + metrics."""
+        row = ctx.decision_row
+        if row is not None:
+            row["applied"] = bool(ctx.applied and outcome.ok)
+            if outcome.ok:
+                row["simulated_ms"] = round(outcome.sim_ms, 3)
+        if not (outcome.ok and ctx.applied):
+            return
+        for name, busy in sorted(ctx.participant_busy.items()):
+            w = next(w for w in self.workers if w.name == name)
+            w.busy_until_ms = max(w.busy_until_ms, busy)
+        self._shard_batches.inc(kind=ctx.plan.kind)
+        self._shard_sim_ms.observe(outcome.sim_ms, kind=ctx.plan.kind)
+        if ctx.scatter_bytes:
+            self._shard_traffic.inc(int(ctx.scatter_bytes),
+                                    direction="scatter")
+        if ctx.gather_bytes:
+            self._shard_traffic.inc(int(ctx.gather_bytes),
+                                    direction="gather")
+        if ctx.halo_rows:
+            self._shard_halo.inc(int(ctx.halo_rows))
 
     def drain(self, max_steps: int = 100_000) -> int:
         """Run the simulation until every queue is empty; returns steps."""
@@ -425,6 +517,22 @@ class FleetScheduler:
         rejected = self._per_label(self._rejected, "reason")
         retried = self._per_label(self._retried, "worker")
         rerouted = self._per_label(self._rerouted, "worker")
+        shard = None
+        if self.shard_planner is not None:
+            plans = self._per_label(self._shard_plans, "kind")
+            batches = self._per_label(self._shard_batches, "kind")
+            traffic = self._per_label(self._shard_traffic, "direction")
+            shard = {
+                "mode": self.shard_planner.mode,
+                "plans_by_kind": {k: int(v)
+                                  for k, v in sorted(plans.items())},
+                "sharded_batches": int(sum(batches.values())),
+                "sharded_batches_by_kind": {
+                    k: int(v) for k, v in sorted(batches.items())},
+                "traffic_bytes": {k: int(v)
+                                  for k, v in sorted(traffic.items())},
+                "halo_rows": int(self._shard_halo.value()),
+            }
         return {
             "sim_ms": round(self.clock.now_ms, 3),
             # makespan: when the last worker's device goes idle — the
@@ -443,6 +551,7 @@ class FleetScheduler:
                                   for k, v in sorted(retried.items())},
             "rerouted_by_worker": {k: int(v)
                                    for k, v in sorted(rerouted.items())},
+            "shard": shard,
             "workers": [{
                 "worker": w.name,
                 "device": w.spec.name if w.spec is not None else "?",
@@ -501,6 +610,7 @@ def build_fleet(model, devices: Sequence[Union[str, object]] = ("xavier",
                 execution: str = "eager",
                 slo_window_ms: float = DEFAULT_SLO_WINDOW_MS,
                 slo_retention: int = DEFAULT_SLO_RETENTION,
+                shard: str = "off", interconnect=None,
                 **task_kwargs) -> FleetScheduler:
     """Assemble a heterogeneous fleet over real DefconEngines.
 
@@ -516,12 +626,34 @@ def build_fleet(model, devices: Sequence[Union[str, object]] = ("xavier",
     worker engine (each worker keeps its own plan cache, so plans are
     compiled per device).  The pytorch fallback engines stay eager —
     they have no fused variant.
+
+    ``shard`` turns on intra-request parallelism: ``"cost"`` shards a
+    batch whenever the interconnect-aware cost model predicts the split
+    beats serving it whole, ``"always"`` is the fixed always-max-split
+    baseline, ``"off"`` (default) disables sharding entirely.  With
+    ``shard="cost"`` and the default cost router, routing upgrades to the
+    :class:`~repro.fleet.router.ShardAwareCostRouter` so placement and
+    splitting price plans with the same model.  ``interconnect``
+    (a :class:`~repro.fleet.shard.Interconnect`) overrides the
+    deterministic default links derived from the device presets.
     """
     from repro.gpusim.device import get_device
     from repro.pipeline.engine import DefconEngine
 
     registry = registry if registry is not None else MetricsRegistry()
     specs = [get_device(d) if isinstance(d, str) else d for d in devices]
+    if shard not in ("off", "cost", "always"):
+        raise ValueError(f"unknown shard mode {shard!r}; "
+                         f"choose 'off', 'cost' or 'always'")
+    shard_planner = None
+    if shard != "off":
+        from repro.fleet.shard import ShardPlanner, default_interconnect
+
+        if interconnect is None:
+            interconnect = default_interconnect(specs)
+        shard_planner = ShardPlanner(interconnect, mode=shard)
+        if shard == "cost" and router == "cost":
+            router = "shard-cost"
     fault_specs = [parse_fault(f) if isinstance(f, str) else f
                    for f in faults]
     injector = FaultInjector(fault_specs, registry=registry) \
@@ -552,4 +684,6 @@ def build_fleet(model, devices: Sequence[Union[str, object]] = ("xavier",
                           registry=registry, tracer=tracer,
                           max_attempts=max_attempts, seed=seed,
                           slo_window_ms=slo_window_ms,
-                          slo_retention=slo_retention)
+                          slo_retention=slo_retention,
+                          shard_planner=shard_planner,
+                          interconnect=interconnect)

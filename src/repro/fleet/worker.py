@@ -50,6 +50,9 @@ class BatchOutcome:
     #: tracer span id of the ``fleet.batch`` span that served this batch
     #: (None without a tracer) — the exemplar link SLO windows print
     span_id: Optional[str] = None
+    #: shard-execution summary when the batch ran under a ShardContext
+    #: that actually split at least one layer (None otherwise)
+    shard: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -167,6 +170,47 @@ class FleetWorker:
             return self._get_fallback_predictor()(shape, batch)
         return self._predictor(shape, batch)
 
+    # -- sharding views (used by the fleet shard planner) --------------
+    @property
+    def shardable(self) -> bool:
+        """May this worker take part in a sharded plan right now?
+
+        Requires a real device (engine with a spec), a closed breaker
+        (degraded fallback engines run the reference backend — no column
+        slices to contribute), and a shard-capable cost model.
+        """
+        return (self.spec is not None and self.breaker.closed
+                and not self.degraded
+                and getattr(self._predictor, "supports_shards", False))
+
+    def predict_shard_ms(self, shape: Tuple[int, ...], batch: int,
+                         shard: Tuple) -> Optional[float]:
+        """Predicted ms of one shard descriptor here (None if unpriceable)."""
+        if not self.shardable:
+            return None
+        return self._predictor(shape, batch, shard)
+
+    def site_configs(self, shape: Tuple[int, ...], batch: int = 1):
+        """Deformable site geometries scaled to this request (planner view)."""
+        if not getattr(self._predictor, "supports_shards", False):
+            return []
+        return self._predictor.site_configs(shape, batch)
+
+    def site_split_ms(self, shape: Tuple[int, ...], batch: int = 1):
+        """Per-site (sampling ms, GEMM ms) on this device, or None."""
+        if not self.shardable:
+            return None
+        return self._predictor.site_split_ms(shape, batch)
+
+    def shard_site_ms(self, shape: Tuple[int, ...], batch: int, kind: str,
+                      nums: Tuple[int, ...], index: int):
+        """Per-site (sampling ms, GEMM ms) of this worker's exact shard."""
+        if not self.shardable or not hasattr(self._predictor,
+                                             "shard_site_ms"):
+            return None
+        return self._predictor.shard_site_ms(shape, batch, kind, nums,
+                                             index)
+
     def backlog_ms(self, now_ms: float) -> float:
         """Device time owed before a new arrival could start."""
         return max(0.0, self.busy_until_ms - now_ms) + self.queue.pending_ms
@@ -217,10 +261,16 @@ class FleetWorker:
     # ------------------------------------------------------------------
     # serving
     # ------------------------------------------------------------------
-    def serve_batch(self, batch: List[FleetRequest],
-                    now_ms: float) -> BatchOutcome:
+    def serve_batch(self, batch: List[FleetRequest], now_ms: float,
+                    shard_ctx=None) -> BatchOutcome:
         """Run one same-shaped EDF batch; returns the outcome with the
-        simulated time charged to this worker's device timeline."""
+        simulated time charged to this worker's device timeline.
+
+        ``shard_ctx`` (a :class:`~repro.fleet.shard.ShardContext`) splits
+        the batch's deformable layers across fleet participants; it is
+        only honoured on the primary engine — a degraded or probing
+        worker serves unsharded.
+        """
         if not batch:
             raise ValueError("serve_batch() needs a non-empty batch")
         self._now_ms = now_ms
@@ -236,6 +286,8 @@ class FleetWorker:
             raise RuntimeError(
                 f"worker {self.name}: breaker {self.breaker.state} and no "
                 "fallback — not servable")
+        if not use_primary or probe:
+            shard_ctx = None
 
         if self.tracer is not None:
             with self.tracer.span(
@@ -243,24 +295,33 @@ class FleetWorker:
                     size=len(batch),
                     requests=[r.id for r in batch],
                     engine="primary" if use_primary else "fallback",
-                    probe=probe, start_sim_ms=round(now_ms, 3)):
+                    probe=probe, start_sim_ms=round(now_ms, 3),
+                    shard_plan=(shard_ctx.plan.label
+                                if shard_ctx is not None else None)):
                 outcome = self._serve_batch_inner(batch, now_ms,
-                                                  use_primary, probe)
+                                                  use_primary, probe,
+                                                  shard_ctx)
                 outcome.span_id = self.tracer.current_span_id()
         else:
             outcome = self._serve_batch_inner(batch, now_ms, use_primary,
-                                              probe)
+                                              probe, shard_ctx)
         self._set_depth()
         return outcome
 
     def _serve_batch_inner(self, batch: List[FleetRequest], now_ms: float,
-                           use_primary: bool, probe: bool) -> BatchOutcome:
+                           use_primary: bool, probe: bool,
+                           shard_ctx=None) -> BatchOutcome:
         batcher = self.batcher if use_primary \
             else self._get_fallback_batcher()
         log = getattr(batcher.engine, "log", None)
         sim0 = float(log.total_ms) if log is not None else 0.0
-        futures = [batcher.submit(r.image) for r in batch]
-        batcher.flush()
+        if shard_ctx is not None:
+            with shard_ctx.install(self.engine):
+                futures = [batcher.submit(r.image) for r in batch]
+                batcher.flush()
+        else:
+            futures = [batcher.submit(r.image) for r in batch]
+            batcher.flush()
 
         error = next((f.exception() for f in futures
                       if f.exception() is not None), None)
@@ -278,16 +339,25 @@ class FleetWorker:
                                    probe)
         else:
             results = [f.result() for f in futures]
-            delta = (float(log.total_ms) - sim0) if log is not None else 0.0
-            sim_ms = delta if delta > 0.0 \
-                else self.predict_ms(shape, len(batch))
+            shard_summary = None
+            if shard_ctx is not None and shard_ctx.applied:
+                # the interconnect-aware timeline replay replaces the
+                # serial log delta: shard compute overlapped across
+                # participant devices, scatter/gather serialised here
+                sim_ms = shard_ctx.finalize()
+                shard_summary = shard_ctx.summary()
+            else:
+                delta = (float(log.total_ms) - sim0) \
+                    if log is not None else 0.0
+                sim_ms = delta if delta > 0.0 \
+                    else self.predict_ms(shape, len(batch))
             if use_primary and self.injector is not None:
                 sim_ms *= self.injector.latency_factor(self.name, now_ms)
             if use_primary:
                 self.breaker.record_success(now_ms)
             outcome = BatchOutcome(batch, results, None, sim_ms,
                                    "primary" if use_primary else "fallback",
-                                   probe)
+                                   probe, shard=shard_summary)
         if self._batches is not None:
             self._batches.inc(worker=self.name, engine=outcome.engine,
                               ok=str(outcome.ok).lower())

@@ -166,17 +166,40 @@ def build_fused_plan(cfg: LayerConfig, spec: DeviceSpec, fp16: bool,
             f"limit {spec.max_texture_extent} — partition the mini-batch "
             f"(paper Section III-B)")
     py, px = positions()
-    kl = cfg.taps * cfg.out_pixels
-    # Pixel coords → texture coords (+0.5), then the tex2D++ fp16
-    # coordinate quantisation — exactly fetch_at_pixel_coords + fetch.
-    y = (py.reshape(n, dg, 1, kl) + 0.5).astype(np.float32)
-    x = (px.reshape(n, dg, 1, kl) + 0.5).astype(np.float32)
+    idx, wts = tap_tables(py, px, h, w, fp16)
+    return FusedPlan(cfg, fp16, idx, wts)
+
+
+def tap_tables(py: np.ndarray, px: np.ndarray, h: int, w: int,
+               fp16: bool) -> Tuple[np.ndarray, np.ndarray]:
+    """Corner index/weight tables for arbitrary (N, dg, ...) positions.
+
+    The one compilation step shared by :func:`build_fused_plan` (full
+    layer) and the per-shard gather plans of
+    :mod:`repro.kernels.shards` (a row-band or channel slice of the same
+    positions): pixel coords → texture coords (+0.5), the tex2D++ fp16
+    coordinate quantisation, then
+    :func:`~repro.gpusim.texture.linear_filter_taps` — exactly
+    ``fetch_at_pixel_coords`` + ``fetch``.  Because every operation is
+    elementwise, tables built from a *slice* of the positions are
+    bitwise equal to the same slice of the full tables, which is what
+    makes stitched shard outputs bit-identical to the unsharded forward.
+
+    Returns ``idx`` of shape (4, N·dg, S) — flat corner texel indices —
+    and ``wts`` of shape (4, N·dg, 1, S), the fixed-point blend weights
+    with the border mask folded in, where S flattens every trailing
+    position axis.
+    """
+    n, dg = py.shape[0], py.shape[1]
+    s = int(np.prod(py.shape[2:], dtype=np.int64))
+    y = (py.reshape(n, dg, 1, s) + 0.5).astype(np.float32)
+    x = (px.reshape(n, dg, 1, s) + 0.5).astype(np.float32)
     if fp16:
         y = y.astype(np.float16).astype(np.float32)
         x = x.astype(np.float16).astype(np.float32)
     taps = linear_filter_taps(y, x, h, w, "border", False)
-    idx = np.stack([(iy * w + jx).reshape(n * dg, kl)
+    idx = np.stack([(iy * w + jx).reshape(n * dg, s)
                     for iy, jx, _ in taps])
     wts = np.stack([wq.astype(np.float32, copy=False).reshape(
-        n * dg, 1, kl) for _, _, wq in taps])
-    return FusedPlan(cfg, fp16, idx, wts)
+        n * dg, 1, s) for _, _, wq in taps])
+    return idx, wts

@@ -50,6 +50,8 @@ from repro.gpusim.device import DeviceSpec
 from repro.gpusim.trace import SamplePlan, cta_ids_for_tile, sample_trace_ctas
 from repro.kernels.config import LayerConfig
 from repro.kernels.fused import FusedPlan, build_fused_plan
+from repro.kernels.shards import (ShardGatherPlan, ShardSpec,
+                                  build_shard_gather_plan)
 
 #: Default bound on distinct (offsets, geometry) trace entries kept live.
 DEFAULT_MAX_ENTRIES = 64
@@ -91,6 +93,8 @@ class _TraceEntry:
                 Tuple[TextureCacheStats, float]] = field(default_factory=dict)
     #: (in_channels, out_channels) → compiled fused execution plan
     fused: Dict[Tuple[int, int], FusedPlan] = field(default_factory=dict)
+    #: (shard descriptor, in_channels) → compiled shard gather plan
+    shards: Dict[tuple, ShardGatherPlan] = field(default_factory=dict)
 
 
 class PlanCacheStats:
@@ -101,10 +105,12 @@ class PlanCacheStats:
         self.misses = 0
         self.trace_builds = 0
         self.fused_builds = 0
+        self.shard_builds = 0
         self._lock = threading.Lock()
         self._lookup_counter = None
         self._build_counter = None
         self._fused_counter = None
+        self._shard_counter = None
         self._build_window = None
 
     @property
@@ -126,6 +132,10 @@ class PlanCacheStats:
             self._fused_counter = registry.counter(
                 "plan_cache_fused_builds",
                 help="fused execution plans compiled by the plan cache")
+            self._shard_counter = registry.counter(
+                "plan_cache_shard_builds",
+                help="shard gather plans compiled by the plan cache "
+                     "(one per distinct offsets+geometry+shard)")
             self._build_window = registry.windowed_histogram(
                 "plan_cache_build_ms",
                 help="wall ms spent compiling plans (trace/fused), "
@@ -138,6 +148,8 @@ class PlanCacheStats:
                 self._build_counter.inc(self.trace_builds)
             if self.fused_builds:
                 self._fused_counter.inc(self.fused_builds)
+            if self.shard_builds:
+                self._shard_counter.inc(self.shard_builds)
         return self
 
     def record_hit(self) -> None:
@@ -168,6 +180,13 @@ class PlanCacheStats:
         if counter is not None:
             counter.inc()
 
+    def record_shard_build(self) -> None:
+        with self._lock:
+            self.shard_builds += 1
+            counter = self._shard_counter
+        if counter is not None:
+            counter.inc()
+
     def record_build_ms(self, kind: str, duration_ms: float) -> None:
         """Windowed build-duration sample (``kind`` = trace|fused)."""
         with self._lock:
@@ -187,7 +206,8 @@ class PlanCacheStats:
     def __repr__(self) -> str:
         return (f"PlanCacheStats(hits={self.hits}, misses={self.misses}, "
                 f"trace_builds={self.trace_builds}, "
-                f"fused_builds={self.fused_builds})")
+                f"fused_builds={self.fused_builds}, "
+                f"shard_builds={self.shard_builds})")
 
 
 class PlanCache:
@@ -325,6 +345,72 @@ class PlanCache:
                 self._building.pop(guard, None)
             event.set()
         return fused
+
+    # ------------------------------------------------------------------
+    def shard_plan(self, offset: np.ndarray, cfg: LayerConfig,
+                   spec: DeviceSpec, fp16: bool,
+                   plan: Optional[SamplePlan], shard: ShardSpec,
+                   positions: Callable[[], Tuple[np.ndarray, np.ndarray]]
+                   ) -> ShardGatherPlan:
+        """Get-or-compile the gather plan for one shard of one layer.
+
+        Keyed off the **full-layer** trace entry (full-offset digest +
+        geometry), with the shard descriptor — kind, index/count and the
+        concrete [lo, hi) range — inside the entry key, so a row band
+        and a channel slice of the same layer, or two different bands,
+        can never collide with each other or with the whole-layer fused
+        plan.  Same LRU lifetime and in-flight build coalescing as
+        :meth:`fused_plan`.
+        """
+        plan = plan or SamplePlan()
+        key = self._trace_key(offsets_digest(offset), cfg, spec, fp16, plan)
+        skey = (shard.descriptor(), cfg.in_channels)
+        guard = (key, "shard", skey)
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    gplan = entry.shards.get(skey)
+                    if gplan is not None:
+                        self.stats.record_hit()
+                        return gplan
+                event = self._building.get(guard)
+                if event is None:
+                    event = threading.Event()
+                    self._building[guard] = event
+                    break
+            event.wait()
+        try:
+            self.stats.record_miss()
+            entry = self._acquire_entry(
+                key, cfg, spec, plan,
+                lambda: tuple(p[0, 0] for p in positions()))
+            gplan = self._build_shard(cfg, fp16, shard, positions)
+            with self._lock:
+                gplan = entry.shards.setdefault(skey, gplan)
+        finally:
+            with self._lock:
+                self._building.pop(guard, None)
+            event.set()
+        return gplan
+
+    def _build_shard(self, cfg: LayerConfig, fp16: bool, shard: ShardSpec,
+                     positions) -> ShardGatherPlan:
+        self.stats.record_shard_build()
+        t0 = time.perf_counter()
+        try:
+            if self.tracer is not None:
+                with self.tracer.span("plancache.build_shard",
+                                      cat="plancache",
+                                      geometry=cfg.label(),
+                                      shard=shard.label()):
+                    return build_shard_gather_plan(cfg, fp16, shard,
+                                                   positions)
+            return build_shard_gather_plan(cfg, fp16, shard, positions)
+        finally:
+            self.stats.record_build_ms(
+                "shard", (time.perf_counter() - t0) * 1e3)
 
     def _build_fused(self, cfg: LayerConfig, spec: DeviceSpec, fp16: bool,
                      positions) -> FusedPlan:

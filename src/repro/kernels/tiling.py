@@ -88,11 +88,25 @@ def heuristic_tile(cfg: LayerConfig, spec: DeviceSpec) -> Tuple[int, int]:
     return best
 
 
+def deformation_halo(kernel_size: int, bound: float = 7.0) -> int:
+    """Input rows/cols a deformable tap can reach beyond its output extent.
+
+    A bounded offset moves each tap at most ``int(bound)`` texels, the
+    kernel footprint adds ``kernel_size // 2``, and bilinear filtering
+    touches one more texel.  This is the *one* halo formula shared by the
+    tile tuner's working-set estimate (:func:`tile_footprint_bytes`) and
+    the fleet shard planner's halo-exchange traffic model
+    (:mod:`repro.fleet.shard`) — deriving it twice is exactly how tuner
+    and scheduler numerics drift apart.
+    """
+    return int(bound) + kernel_size // 2 + 1
+
+
 def tile_footprint_bytes(cfg: LayerConfig, tile: Tuple[int, int],
                          bound: float = 7.0, dtype_bytes: int = 4) -> int:
     """Texture working set of one CTA for one layer: tile + deformation halo."""
     ty, tx = tile
-    halo = int(bound) + cfg.kernel_size // 2 + 1
+    halo = deformation_halo(cfg.kernel_size, bound)
     span_y = ty * cfg.stride + 2 * halo
     span_x = tx * cfg.stride + 2 * halo
     return span_y * span_x * dtype_bytes

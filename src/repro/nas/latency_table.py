@@ -47,13 +47,57 @@ def deform_latency_ms(cfg: LayerConfig, spec: DeviceSpec,
                       backend: str = "pytorch", seed: int = 0,
                       bound: Optional[float] = 7.0) -> float:
     """Latency of the deformable operator (sampling + GEMM) for this shape."""
+    sample_ms, gemm_ms = deform_latency_split_ms(cfg, spec, backend=backend,
+                                                 seed=seed, bound=bound)
+    return sample_ms + gemm_ms
+
+
+def deform_latency_split_ms(cfg: LayerConfig, spec: DeviceSpec,
+                            backend: str = "pytorch", seed: int = 0,
+                            bound: Optional[float] = 7.0
+                            ) -> Tuple[float, float]:
+    """(sampling ms, GEMM ms) of the deformable operator for this shape.
+
+    The fleet's shard planner prices a split layer from the two halves
+    separately: the gather/blend sampling kernel divides across shard
+    workers while the column GEMM stays whole at the coordinator (the
+    stitch), so only the first component scales with a shard's fraction.
+    The sum is exactly :func:`deform_latency_ms`.
+    """
     rng = np.random.default_rng(seed)
     x = rng.normal(size=cfg.input_shape()).astype(np.float32)
     w = rng.normal(size=cfg.weight_shape()).astype(np.float32)
     off = synth_offsets(cfg, bound=bound, seed=seed)
     res = run_deform_op(backend, x, off, w, None, cfg, spec,
                         compute_output=False)
-    return res.latency_ms
+    gemm_ms = sum(k.duration_ms for k in res.kernels
+                  if k.name == "implicit_gemm")
+    return res.latency_ms - gemm_ms, gemm_ms
+
+
+def deform_shard_latency_split_ms(cfg: LayerConfig, spec: DeviceSpec,
+                                  shard, backend: str = "tex2dpp",
+                                  seed: int = 0,
+                                  bound: Optional[float] = 7.0
+                                  ) -> Tuple[float, float]:
+    """(sampling ms, GEMM ms) of *one shard* of the deformable operator.
+
+    The sharded sibling of :func:`deform_latency_split_ms`: runs
+    :func:`~repro.kernels.shards.run_shard` on synthetic offsets for the
+    exact :class:`~repro.kernels.shards.ShardSpec` bounds the executor
+    would use, so the shard planner prices the same launch-grid and
+    wave-efficiency effects the serve-time simulation will report —
+    small shard GEMMs do *not* scale linearly with their fraction, and
+    pricing them as if they did makes the router shard when it loses.
+    """
+    from repro.kernels.shards import run_shard
+
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=cfg.input_shape()).astype(np.float32)
+    off = synth_offsets(cfg, bound=bound, seed=seed)
+    res = run_shard(x, off, cfg, spec, shard,
+                    fp16_offsets=(backend == "tex2dpp"))
+    return res.sample.duration_ms, res.gemm.duration_ms
 
 
 class LatencyTable:

@@ -87,6 +87,24 @@ DEFAULT_RULES: Tuple[MetricRule, ...] = (
                rel_tol=0.0, abs_floor=0.0),
     MetricRule("fleet_scheduler.*.futures_failed", "lower",
                rel_tol=0.0, abs_floor=0.0),
+    # fleet sharding bench — a deterministic simulation, but the latency
+    # model it prices with is allowed to evolve: exact gates on the shard
+    # counters (how many batches sharded, everything completed, nothing
+    # lost), tolerant gates on simulated milliseconds, and the raw
+    # per-request decision table is informational only
+    MetricRule("fleet_sharding.*.decisions.*", "ignore"),
+    MetricRule("fleet_sharding.*.sharded_batches", "higher",
+               rel_tol=0.0, abs_floor=0.0),
+    MetricRule("fleet_sharding.*.completed", "higher",
+               rel_tol=0.0, abs_floor=0.0),
+    MetricRule("fleet_sharding.*.unresolved", "lower",
+               rel_tol=0.0, abs_floor=0.0),
+    MetricRule("fleet_sharding.*.makespan_ms", "lower",
+               rel_tol=0.10, abs_floor=0.02),
+    MetricRule("fleet_sharding.*speedup*", "higher",
+               rel_tol=0.05, abs_floor=0.02),
+    MetricRule("fleet_sharding.*_bytes", "ignore"),
+    MetricRule("fleet_sharding.*", "ignore"),
     # wall-clock speedup ratios — machine-sensitive but dimensionless;
     # a halved speedup must fail, scheduler jitter must not
     MetricRule("*speedup", "higher", rel_tol=0.40, abs_floor=0.25),

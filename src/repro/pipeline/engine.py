@@ -121,6 +121,11 @@ class TextureRuntime:
     plan_cache: Optional[PlanCache] = None
     #: "eager" or "fused" — forwarded to the texture backends
     execution: str = "eager"
+    #: fleet shard-execution hook (a
+    #: :class:`~repro.fleet.shard.ShardContext`): when set, each layer is
+    #: offered to it first and only falls through to the local backend
+    #: when the hook declines (returns None)
+    shard_executor: Optional[object] = None
     #: near-hit resolutions memoised per runtime geometry
     resolved: Dict[TileKey, Tuple[int, int]] = field(default_factory=dict)
     _warned: Set[TileKey] = field(default_factory=set)
@@ -156,15 +161,29 @@ class TextureRuntime:
                                self.default_tile)
             return self.default_tile
 
-    def execute(self, layer: DeformConv2d, x: Tensor,
-                offsets: Tensor) -> Tensor:
+    @staticmethod
+    def layer_config(layer: DeformConv2d, x: Tensor) -> LayerConfig:
         n, c, h, w = x.shape
-        cfg = LayerConfig(
+        return LayerConfig(
             in_channels=c, out_channels=layer.out_channels,
             height=h, width=w, kernel_size=layer.kernel_size,
             stride=layer.stride, padding=layer.padding,
             dilation=layer.dilation,
             deformable_groups=layer.deformable_groups, batch=n)
+
+    def execute(self, layer: DeformConv2d, x: Tensor,
+                offsets: Tensor) -> Tensor:
+        cfg = self.layer_config(layer, x)
+        executor = self.shard_executor
+        if executor is not None:
+            out = executor.execute_layer(self, layer, cfg, x, offsets)
+            if out is not None:
+                return out
+        return self.execute_direct(layer, cfg, x, offsets)
+
+    def execute_direct(self, layer: DeformConv2d, cfg: LayerConfig,
+                       x: Tensor, offsets: Tensor) -> Tensor:
+        """Run one layer on this runtime's own backend (no sharding)."""
         tile = self.lookup_tile(cfg)
         bias = layer.bias.data if layer.bias is not None else None
         res = run_deform_op(self.backend, x.data.astype(np.float32),
@@ -309,6 +328,12 @@ class DefconEngine:
     @property
     def tiles(self) -> Dict[TileKey, Tuple[int, int]]:
         return dict(self._runtime.tiles)
+
+    def lookup_tile(self, cfg: LayerConfig) -> Tuple[int, int]:
+        """Resolve this engine's CTA tile for one geometry (the fleet's
+        shard executor runs kernels on participant engines directly and
+        needs each device's own tuned tile)."""
+        return self._runtime.lookup_tile(cfg)
 
     @property
     def tile_cache_stats(self) -> TileCacheStats:
