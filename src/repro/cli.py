@@ -604,7 +604,120 @@ def _build_fleet_from_args(args):
                        or DEFAULT_SLO_WINDOW_MS),
         shard=getattr(args, "shard", "off"),
         **task_kwargs)
-    return sched, registry, tracer
+    return sched, registry, tracer, model, task_kwargs
+
+
+def _cmd_fleet_loadgen(args) -> int:
+    """``repro fleet run --loadgen`` — open-loop traffic, optionally
+    autoscaled, with an SLO-attainment table per offered-load level."""
+    import sys as _sys
+
+    from repro.fleet import (ElasticAutoscaler, default_fleet_slos,
+                             engine_worker_provider, parse_autoscale,
+                             parse_loadgen)
+
+    try:
+        spec = parse_loadgen(args.loadgen)
+        policy = parse_autoscale(args.autoscale) if args.autoscale else None
+        levels = [float(x) for x in args.load_levels.split(",")
+                  if x.strip()]
+        if not levels:
+            raise ValueError("--load-levels needs at least one factor")
+    except ValueError as exc:
+        print(f"error: {exc}", file=_sys.stderr)
+        return 1
+    print(f"loadgen: {spec.describe()}")
+    if policy is not None:
+        print(f"autoscale: {policy.min_workers}..{policy.max_workers} "
+              f"workers, catalogue {'|'.join(policy.catalogue)}, "
+              f"p99<={policy.p99_ms:g}ms (burn>{policy.burn_up:g} or "
+              f"depth>{policy.depth_up:g} scales up)")
+
+    exit_code = 0
+    rows = []
+    last = None
+    for level in levels:
+        lspec = spec.scaled(level)
+        try:
+            sched, registry, tracer, model, task_kwargs = \
+                _build_fleet_from_args(args)
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc}", file=_sys.stderr)
+            return 1
+        auto = None
+        if policy is not None:
+            provider = engine_worker_provider(
+                model, backend=args.backend, task=args.task,
+                execution="fused" if getattr(args, "fused", False)
+                else "eager",
+                max_batch_size=args.max_batch,
+                queue_capacity=args.queue_capacity,
+                breaker_threshold=args.breaker_threshold,
+                breaker_cooldown_ms=args.breaker_cooldown,
+                tracer=tracer, **task_kwargs)
+            auto = ElasticAutoscaler(policy, provider).attach(sched)
+        futures = sched.run_load(lspec.events(), autoscaler=auto)
+        sched.close()
+        snap = sched.snapshot()
+        reports = sched.evaluate_slos(default_fleet_slos(args.slo_p99_ms))
+        p99_report = reports[0]
+        if auto is not None:
+            asnap = auto.snapshot()
+            peak, worker_ms = asnap["peak_workers"], asnap["worker_ms"]
+        else:
+            asnap = None
+            peak = len(sched.workers)
+            worker_ms = round(peak * snap["makespan_ms"], 3)
+        unresolved = len(sched.unresolved())
+        if unresolved or not all(f.done() for f in futures):
+            exit_code = 1
+        rows.append([
+            f"{level:g}x", f"{lspec.offered_rpms:.2f}",
+            snap["submitted"], snap["completed"],
+            sum(snap["rejected_by_reason"].values()),
+            snap["latency_p50_ms"] if snap["latency_p50_ms"] is not None
+            else "-",
+            snap["latency_p99_ms"] if snap["latency_p99_ms"] is not None
+            else "-",
+            f"{100 * p99_report.attainment:.0f}%",
+            "ok" if p99_report.ok else "VIOLATED",
+            peak, worker_ms, unresolved,
+        ])
+        last = (sched, registry, tracer, auto, asnap, reports)
+    print("\n" + format_table(
+        ["load", "req/ms", "submitted", "completed", "rejected", "p50 ms",
+         "p99 ms", "attain", "p99 SLO", "peak workers", "worker-ms",
+         "unresolved"],
+        rows,
+        title=f"SLO attainment per load level — p99<={args.slo_p99_ms:g}ms, "
+              f"{'autoscaled' if policy is not None else 'static'} fleet"))
+
+    sched, registry, tracer, auto, asnap, reports = last
+    if auto is not None and auto.events:
+        core = ("sim_ms", "action", "worker", "device")
+        erows = [[e["sim_ms"], e["action"], e["worker"],
+                  e.get("device", "-"),
+                  " ".join(f"{k}={v}" for k, v in e.items()
+                           if k not in core) or "-"]
+                 for e in auto.events]
+        print("\n" + format_table(
+            ["sim ms", "action", "worker", "device", "detail"], erows,
+            title=f"Autoscaler actions at {rows[-1][0]} load — "
+                  f"{asnap['scale_ups']} up, {asnap['scale_downs']} down, "
+                  f"peak {asnap['peak_workers']} workers"))
+    if getattr(args, "slo", False):
+        from repro.obs.slo import format_slo_table
+
+        for report in reports:
+            print("\n" + format_slo_table(report))
+    if tracer is not None and args.trace:
+        tracer.write(args.trace)
+        print(f"\nwrote Chrome trace to {args.trace} "
+              f"({tracer.num_events} events)")
+    if args.metrics_out:
+        registry.write(args.metrics_out)
+        print(f"wrote metrics registry to {args.metrics_out}")
+    return exit_code
 
 
 def cmd_fleet(args) -> int:
@@ -613,8 +726,14 @@ def cmd_fleet(args) -> int:
 
     import numpy as np
 
+    if args.action == "run" and getattr(args, "loadgen", None):
+        return _cmd_fleet_loadgen(args)
+    if getattr(args, "autoscale", None):
+        print("error: --autoscale needs --loadgen (open-loop traffic "
+              "drives the scaling signals)", file=_sys.stderr)
+        return 1
     try:
-        sched, registry, tracer = _build_fleet_from_args(args)
+        sched, registry, tracer, _, _ = _build_fleet_from_args(args)
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=_sys.stderr)
         return 1
@@ -926,6 +1045,20 @@ def build_parser() -> argparse.ArgumentParser:
     fr.add_argument("--slo-window", type=float, default=None, metavar="MS",
                     help="SLO window width in simulated ms "
                          "(default 0.25)")
+    fr.add_argument("--loadgen", default=None, metavar="SPEC",
+                    help="open-loop traffic instead of --requests: "
+                         "n=400,duration=50,diurnal=0.5,cycles=2,"
+                         "burst=10-14x4,classes=small:3:16:2.0:0|"
+                         "large:1:32:8.0:1,seed=3 "
+                         "(see docs/fleet.md)")
+    fr.add_argument("--autoscale", default=None, metavar="POLICY",
+                    help="elastic worker-set policy (needs --loadgen): "
+                         "min=1,max=4,catalogue=xavier|2080ti,p99=0.5,"
+                         "burn=1.0,depth=4,warm=1,cold=6 "
+                         "(see docs/fleet.md)")
+    fr.add_argument("--load-levels", default="1", metavar="F1,F2,...",
+                    help="offered-load multipliers swept over --loadgen; "
+                         "one SLO-attainment row per level (default: 1)")
     fleet_sub.add_parser(
         "plan", parents=[fleet_common],
         help="show the router's per-worker ECT view without serving")

@@ -63,17 +63,22 @@ class FleetRequest:
     attempts: int = 0
     #: workers that already failed this request (rerouting avoids them)
     failed_on: Set[str] = field(default_factory=set)
+    #: multi-tenant priority class (higher serves first among equal
+    #: deadlines; a pure-priority order would starve, so the deadline
+    #: stays the primary key)
+    priority: int = 0
 
     @property
     def shape(self) -> Tuple[int, ...]:
         return tuple(self.image.shape)
 
     @property
-    def edf_key(self) -> Tuple[float, int]:
-        """Total EDF order: nearest deadline first, then submission order."""
+    def edf_key(self) -> Tuple[float, int, int]:
+        """Total EDF order: nearest deadline first, then priority (higher
+        first), then submission order."""
         deadline = self.deadline_ms if self.deadline_ms is not None \
             else math.inf
-        return (deadline, self.id)
+        return (deadline, -self.priority, self.id)
 
     def expired(self, now_ms: float) -> bool:
         return self.deadline_ms is not None and now_ms > self.deadline_ms

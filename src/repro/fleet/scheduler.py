@@ -30,6 +30,7 @@ pytorch-backend fallback for graceful degradation.
 
 from __future__ import annotations
 
+import math
 from concurrent.futures import Future
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
@@ -135,6 +136,9 @@ class FleetScheduler:
         self.decisions: List[dict] = []
         #: every request ever submitted (futures audited by tests/bench)
         self.requests: List[FleetRequest] = []
+        #: completion latencies in resolution order (sim ms) — the raw
+        #: samples behind the bench's p50/p99-vs-offered-load curves
+        self.latencies_ms: List[float] = []
         self._next_id = 0
         self._closed = False
 
@@ -196,12 +200,15 @@ class FleetScheduler:
     # submission + routing
     # ------------------------------------------------------------------
     def submit(self, image: np.ndarray,
-               deadline_ms: Optional[float] = None) -> Future:
+               deadline_ms: Optional[float] = None, *,
+               priority: int = 0) -> Future:
         """Offer one (C, H, W) image; ``deadline_ms`` is relative to now.
 
         Returns a future that always resolves: a task result, the
         original engine error (retries exhausted), or a
         :class:`FleetRejection` naming why the fleet dropped it.
+        ``priority`` breaks EDF ties between equal deadlines (higher
+        serves first) — the multi-tenant request-class knob.
         """
         if self._closed:
             raise FleetRejection(REASON_CLOSED, "fleet is closed")
@@ -212,7 +219,8 @@ class FleetScheduler:
         now = self.clock.now_ms
         deadline = now + float(deadline_ms) if deadline_ms is not None \
             else None
-        req = FleetRequest(self._next_id, img, now, deadline)
+        req = FleetRequest(self._next_id, img, now, deadline,
+                           priority=priority)
         self._next_id += 1
         self.requests.append(req)
         self._submitted.inc()
@@ -279,12 +287,14 @@ class FleetScheduler:
     def _start_ms(self, worker: FleetWorker, now: float) -> float:
         """When could ``worker`` actually start its next batch?
 
-        Usually when its device goes idle — but a worker whose breaker is
-        open with no fallback can only run again as a half-open probe, so
-        its queue is pinned until the cooldown elapses.  Dispatching to
-        it any earlier would hit serve_batch()'s not-servable guard.
+        Usually when its device goes idle — but a freshly autoscaled
+        worker accepts no dispatch before its warm-up ``ready_at_ms``,
+        and a worker whose breaker is open with no fallback can only run
+        again as a half-open probe, so its queue is pinned until the
+        cooldown elapses.  Dispatching to it any earlier would hit
+        serve_batch()'s not-servable guard.
         """
-        start = max(worker.busy_until_ms, now)
+        start = max(worker.busy_until_ms, worker.ready_at_ms, now)
         b = worker.breaker
         if b.closed or worker.can_degrade or b.probe_due(start):
             return start
@@ -303,7 +313,7 @@ class FleetScheduler:
         now = self.clock.now_ms
         worker = min(busy, key=lambda w: (self._start_ms(w, now), w.name))
         start = self._start_ms(worker, now)
-        if start > max(worker.busy_until_ms, now):
+        if start > max(worker.busy_until_ms, worker.ready_at_ms, now):
             # breaker-pinned: the queue cannot move before the probe is
             # due.  First offer the queued requests to workers that could
             # serve them sooner; only sleep until the probe when nothing
@@ -342,6 +352,7 @@ class FleetScheduler:
                         ts_ms=done)
                 self._latency_windows.observe(latency, ts_ms=done,
                                               exemplar=exemplar)
+                self.latencies_ms.append(latency)
         else:
             for r in batch:
                 self._handle_failure(r, worker, outcome.error, done)
@@ -416,6 +427,97 @@ class FleetScheduler:
                     f"fleet did not drain within {max_steps} steps "
                     f"({self.pending()} requests still queued)")
         return steps
+
+    # ------------------------------------------------------------------
+    # dynamic membership + open-loop driving
+    # ------------------------------------------------------------------
+    def add_worker(self, worker: FleetWorker) -> None:
+        """Enrol a new member mid-run (the autoscaler's scale-up path).
+
+        Routers re-read the worker list on every choice, so membership
+        changes take effect at the next routing decision; the worker is
+        not routable before its ``ready_at_ms`` warm-up gate.
+        """
+        if self._closed:
+            raise RuntimeError("cannot add workers to a closed fleet")
+        if any(w.name == worker.name for w in self.workers):
+            raise ValueError(f"duplicate worker name {worker.name!r}")
+        if worker._batches is None:
+            worker.bind_registry(self.registry)
+        self.workers.append(worker)
+
+    def remove_worker(self, name: str) -> FleetWorker:
+        """Retire a member whose queue is empty (the end of a drain).
+
+        Refuses to remove a worker still holding requests — scale-down
+        must *drain*, never kill, or futures would be lost.
+        """
+        worker = next((w for w in self.workers if w.name == name), None)
+        if worker is None:
+            raise KeyError(f"no fleet worker named {name!r}")
+        if len(worker.queue):
+            raise RuntimeError(
+                f"refusing to remove {name!r} with {len(worker.queue)} "
+                f"queued requests (drain first: zero lost futures)")
+        if len(self.workers) == 1:
+            raise RuntimeError("cannot remove the last fleet worker")
+        worker.batcher.close(flush=False)
+        if worker._fallback_batcher is not None:
+            worker._fallback_batcher.close(flush=False)
+        self.workers.remove(worker)
+        return worker
+
+    def run_load(self, arrivals, *, autoscaler=None,
+                 max_steps: int = 1_000_000) -> List[Future]:
+        """Drive the fleet open-loop from a loadgen arrival stream.
+
+        Merges three event sources on the simulated clock — the next
+        arrival, the earliest batch start among queued workers, and the
+        autoscaler's next evaluation — and always serves the earliest.
+        Ties go to the autoscaler (so membership changes land before the
+        work they react to), then to arrivals (so a batch never starts
+        before a same-tick submission has been routed).  Returns the
+        futures in arrival order; every one is resolved on return.
+        """
+        events = list(arrivals)
+        futures: List[Future] = []
+        i = 0
+        steps = 0
+        if autoscaler is not None and autoscaler.sched is not self:
+            autoscaler.attach(self)
+        while True:
+            now = self.clock.now_ms
+            t_arr = events[i].t_ms if i < len(events) else math.inf
+            busy = [w for w in self.workers if len(w.queue)]
+            t_serve = min((self._start_ms(w, now) for w in busy),
+                          default=math.inf)
+            if math.isinf(t_arr) and not busy:
+                break
+            t_eval = autoscaler.next_eval_ms \
+                if autoscaler is not None else math.inf
+            if t_eval <= min(t_arr, t_serve):
+                self.clock.advance_to(t_eval)
+                autoscaler.evaluate(self.clock.now_ms)
+                continue
+            if t_arr <= t_serve:
+                self.clock.advance_to(t_arr)
+                while i < len(events) \
+                        and events[i].t_ms <= self.clock.now_ms:
+                    a = events[i]
+                    futures.append(self.submit(
+                        a.image(), deadline_ms=a.cls.deadline_ms,
+                        priority=a.cls.priority))
+                    i += 1
+            else:
+                self.step()
+                steps += 1
+                if steps >= max_steps:
+                    raise RuntimeError(
+                        f"open-loop run exceeded {max_steps} serve steps "
+                        f"({self.pending()} requests still queued)")
+        if autoscaler is not None:
+            autoscaler.finalize(self.clock.now_ms)
+        return futures
 
     def _reroute_pinned(self, worker: FleetWorker, now: float) -> bool:
         """Drain a breaker-pinned worker's queue through the reroute path.
@@ -533,12 +635,17 @@ class FleetScheduler:
                                   for k, v in sorted(traffic.items())},
                 "halo_rows": int(self._shard_halo.value()),
             }
+        lat = self.latencies_ms
         return {
             "sim_ms": round(self.clock.now_ms, 3),
             # makespan: when the last worker's device goes idle — the
             # denominator for fleet throughput
             "makespan_ms": round(max(w.busy_until_ms
                                      for w in self.workers), 3),
+            "latency_p50_ms": round(float(np.percentile(lat, 50)), 3)
+            if lat else None,
+            "latency_p99_ms": round(float(np.percentile(lat, 99)), 3)
+            if lat else None,
             "router": self.router.name,
             "submitted": int(self._submitted.value()),
             "completed": int(sum(completed.values())),
@@ -595,6 +702,46 @@ class FleetScheduler:
         self.close()
 
 
+def build_worker(name: str, spec, model, *, backend: str = "tex2dpp",
+                 task: str = "classify", tile_store=None,
+                 autotune: bool = False, execution: str = "eager",
+                 max_batch_size: int = 4, queue_capacity: int = 16,
+                 degrade: bool = True, breaker_threshold: int = 3,
+                 breaker_cooldown_ms: float = 50.0,
+                 wedge_timeout_ms: float = 100.0, injector=None,
+                 registry: Optional[MetricsRegistry] = None, tracer=None,
+                 **task_kwargs) -> FleetWorker:
+    """Assemble one full fleet member: a DefconEngine on ``spec`` with
+    its breaker and (unless degraded serving is off or the fleet already
+    runs the reference backend) a lazy pytorch fallback.
+
+    This is the per-worker body of :func:`build_fleet`, split out so the
+    autoscaler's :func:`~repro.fleet.autoscale.engine_worker_provider`
+    can provision identical members mid-run.  When ``registry`` is None
+    the worker binds its metrics at :meth:`FleetScheduler.add_worker`.
+    """
+    from repro.pipeline.engine import DefconEngine
+
+    engine = DefconEngine(model, spec, backend=backend,
+                          autotune=autotune or tile_store is not None,
+                          tile_store=tile_store, tracer=tracer,
+                          execution=execution)
+    fallback_factory = None
+    if degrade and backend != "pytorch":
+        fallback_factory = (
+            lambda spec=spec: DefconEngine(model, spec,
+                                           backend="pytorch"))
+    breaker = CircuitBreaker(name, failure_threshold=breaker_threshold,
+                             cooldown_ms=breaker_cooldown_ms,
+                             registry=registry)
+    return FleetWorker(
+        name, engine, task=task, max_batch_size=max_batch_size,
+        queue_capacity=queue_capacity, breaker=breaker,
+        injector=injector, registry=registry, tracer=tracer,
+        fallback_factory=fallback_factory,
+        wedge_timeout_ms=wedge_timeout_ms, **task_kwargs)
+
+
 def build_fleet(model, devices: Sequence[Union[str, object]] = ("xavier",
                                                                 "2080ti"),
                 *, backend: str = "tex2dpp", task: str = "classify",
@@ -638,7 +785,6 @@ def build_fleet(model, devices: Sequence[Union[str, object]] = ("xavier",
     deterministic default links derived from the device presets.
     """
     from repro.gpusim.device import get_device
-    from repro.pipeline.engine import DefconEngine
 
     registry = registry if registry is not None else MetricsRegistry()
     specs = [get_device(d) if isinstance(d, str) else d for d in devices]
@@ -661,25 +807,14 @@ def build_fleet(model, devices: Sequence[Union[str, object]] = ("xavier",
 
     workers = []
     for i, spec in enumerate(specs):
-        name = f"w{i}-{spec.name}"
-        engine = DefconEngine(model, spec, backend=backend,
-                              autotune=autotune or tile_store is not None,
-                              tile_store=tile_store, tracer=tracer,
-                              execution=execution)
-        fallback_factory = None
-        if degrade and backend != "pytorch":
-            fallback_factory = (
-                lambda spec=spec: DefconEngine(model, spec,
-                                               backend="pytorch"))
-        breaker = CircuitBreaker(name, failure_threshold=breaker_threshold,
-                                 cooldown_ms=breaker_cooldown_ms,
-                                 registry=registry)
-        workers.append(FleetWorker(
-            name, engine, task=task, max_batch_size=max_batch_size,
-            queue_capacity=queue_capacity, breaker=breaker,
-            injector=injector, registry=registry, tracer=tracer,
-            fallback_factory=fallback_factory,
-            wedge_timeout_ms=wedge_timeout_ms, **task_kwargs))
+        workers.append(build_worker(
+            f"w{i}-{spec.name}", spec, model, backend=backend, task=task,
+            tile_store=tile_store, autotune=autotune, execution=execution,
+            max_batch_size=max_batch_size, queue_capacity=queue_capacity,
+            degrade=degrade, breaker_threshold=breaker_threshold,
+            breaker_cooldown_ms=breaker_cooldown_ms,
+            wedge_timeout_ms=wedge_timeout_ms, injector=injector,
+            registry=registry, tracer=tracer, **task_kwargs))
     return FleetScheduler(workers, router=router, clock=clock,
                           registry=registry, tracer=tracer,
                           max_attempts=max_attempts, seed=seed,

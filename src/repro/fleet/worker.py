@@ -94,6 +94,14 @@ class FleetWorker:
         self.task_kwargs = task_kwargs
         #: virtual device timeline (absolute sim ms)
         self.busy_until_ms = 0.0
+        #: warm-up gate (absolute sim ms): an autoscaled worker is not
+        #: routable — and its timeline accepts no dispatch — before this
+        #: (tile-store warm start vs cold tune set different delays)
+        self.ready_at_ms = 0.0
+        #: scale-down drains the queue instead of killing the worker: a
+        #: draining worker takes no new routing but serves what it holds
+        #: (the zero-lost-futures invariant survives elasticity)
+        self.draining = False
         #: sim time FaultyEngine sees — updated at each serve
         self._now_ms = 0.0
 
@@ -157,6 +165,8 @@ class FleetWorker:
 
     def routable(self, now_ms: float) -> bool:
         """May the router place new work here?"""
+        if self.draining or now_ms < self.ready_at_ms:
+            return False
         if self.breaker.closed:
             return True
         if self.can_degrade:
@@ -177,10 +187,11 @@ class FleetWorker:
 
         Requires a real device (engine with a spec), a closed breaker
         (degraded fallback engines run the reference backend — no column
-        slices to contribute), and a shard-capable cost model.
+        slices to contribute), not draining towards removal, and a
+        shard-capable cost model.
         """
         return (self.spec is not None and self.breaker.closed
-                and not self.degraded
+                and not self.degraded and not self.draining
                 and getattr(self._predictor, "supports_shards", False))
 
     def predict_shard_ms(self, shape: Tuple[int, ...], batch: int,

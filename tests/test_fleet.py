@@ -96,6 +96,87 @@ class TestBoundedDeadlineQueue:
         assert q.pending_ms == pytest.approx(5.5)
 
 
+class TestQueueUnderOpenLoopBursts:
+    """The queue's robustness rules under generated bursty traffic —
+    previously only exercised with hand-built request lists."""
+
+    def test_shed_boundary_is_strictly_after_deadline(self):
+        """Expiry at the exact deadline tick: ``now == deadline`` is
+        still servable; the next representable instant is not."""
+        q = BoundedDeadlineQueue()
+        q.push(req(0, deadline_ms=10.0))
+        assert q.shed_expired(now_ms=10.0) == []
+        assert len(q) == 1
+        just_after = float(np.nextafter(10.0, np.inf))
+        assert [r.id for r in q.shed_expired(now_ms=just_after)] == [0]
+        assert len(q) == 0
+
+    def test_bursty_arrivals_trigger_admission_control_and_shedding(self):
+        """Open-loop burst against a fixed-rate consumer: the bounded
+        queue must reject pushes at capacity and shed exactly the
+        requests whose deadline tick passed — and only during the flash
+        crowd, since the envelope is well-provisioned outside it."""
+        from repro.fleet import BurstEpisode, LoadSpec, RequestClass
+
+        spec = LoadSpec(requests=60, duration_ms=60.0,
+                        bursts=(BurstEpisode(20.0, 26.0, 8.0),),
+                        classes=(RequestClass("c", 1.0, 8, 3.0, 0),),
+                        seed=9)
+        q = BoundedDeadlineQueue(capacity=8)
+        service_ms = 0.5                    # consumer: one request / 0.5ms
+        next_pop = 0.0
+        rejected, shed, served = [], [], []
+        for a in spec.events():
+            while next_pop <= a.t_ms and len(q):
+                shed += [r.id for r in q.shed_expired(next_pop)]
+                served += [r.id for r in q.pop_batch(1)]
+                next_pop += service_ms
+            if not len(q):
+                next_pop = max(next_pop, a.t_ms)
+            r = FleetRequest(a.index, a.image(), a.t_ms,
+                             a.t_ms + a.cls.deadline_ms)
+            r.predicted_ms = service_ms
+            try:
+                q.push(r)
+            except FleetRejection as exc:
+                assert exc.reason == REASON_QUEUE_FULL
+                rejected.append((a.index, a.t_ms))
+        while len(q):
+            shed += [r.id for r in q.shed_expired(next_pop)]
+            served += [r.id for r in q.pop_batch(1)]
+            next_pop += service_ms
+
+        assert rejected, "the burst must overflow a capacity-8 queue"
+        assert all(20.0 <= t < 28.0 for _, t in rejected), \
+            "admission control should only fire around the flash crowd"
+        assert shed, "3ms deadlines must expire while queued in the burst"
+        # conservation: every arrival is served, shed, or rejected once
+        ids = set(served) | set(shed) | {i for i, _ in rejected}
+        assert len(served) + len(shed) + len(rejected) == len(ids)
+        assert len(ids) == len(spec.events())
+
+    def test_expiry_at_exact_boundary_inside_scheduler(self):
+        """A request whose deadline equals the batch start tick is still
+        served; one queued behind it expires and is shed with reason
+        ``deadline_expired``."""
+        sched = FleetScheduler([worker("w0", ms=5.0)], router="cost")
+        f_exact = sched.submit(IMG, deadline_ms=5.0)    # served at 0.0
+        f_late = sched.submit(IMG16, deadline_ms=5.0)   # starts at 5.0,
+        sched.drain()                                    # 5.0 == deadline
+        assert f_exact.result() is not None
+        # the 16px request starts at t=5.0 — exactly its deadline — and
+        # is still served (strictly-after semantics)
+        assert f_late.result() is not None
+        sched2 = FleetScheduler([worker("w0", ms=5.0)], router="cost")
+        g0 = sched2.submit(IMG, deadline_ms=4.0)        # EDF head
+        g1 = sched2.submit(IMG16, deadline_ms=4.999)    # expires at 5.0
+        sched2.drain()
+        assert g0.result() is not None
+        with pytest.raises(FleetRejection) as exc:
+            g1.result()
+        assert exc.value.reason == REASON_EXPIRED
+
+
 # ----------------------------------------------------------------------
 # circuit breaker
 # ----------------------------------------------------------------------

@@ -1,0 +1,296 @@
+"""Elastic-autoscaler invariants (docs/fleet.md, "Elastic autoscaling").
+
+The autoscaler rides the fleet's synchronous simulation, so every
+invariant here is exact: zero lost futures across scale-down of a busy
+worker, no dispatch before a provisioned worker's warm-up elapses,
+min/max bounds held under flash crowds, and cold-tune vs tile-store
+warm start producing different ready times.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fleet import (AutoscalePolicy, BurstEpisode, ElasticAutoscaler,
+                         FleetScheduler, FleetWorker, LoadSpec,
+                         RequestClass, parse_autoscale, sim_worker_provider)
+from repro.gpusim.device import get_device
+
+pytestmark = pytest.mark.fleet
+
+IMG = np.zeros((3, 8, 8), dtype=np.float32)
+
+
+class FakeEngine:
+    """Deterministic classify stub; returns the batch index per image."""
+
+    def classify(self, images):
+        return np.arange(images.shape[0], dtype=np.int64)
+
+
+def fake_worker(name, ms=1.0, device=None, **kw):
+    """Fake worker whose predicted latency is ``ms`` per image."""
+    w = FleetWorker(name, FakeEngine(),
+                    predictor=lambda shape, batch, ms=ms: ms * batch, **kw)
+    if device is not None:
+        w.spec = get_device(device)
+    return w
+
+
+def fake_provider(ms=1.0):
+    def provider(name, spec):
+        spec = get_device(spec) if isinstance(spec, str) else spec
+        return fake_worker(name, ms=ms, device=spec.name)
+    return provider
+
+
+def make_autoscaled(policy, *, base_ms=1.0, provider_ms=1.0,
+                    base_device=None):
+    sched = FleetScheduler(
+        [fake_worker("w0-base", ms=base_ms, device=base_device)],
+        router="cost")
+    auto = ElasticAutoscaler(policy, fake_provider(provider_ms)
+                             ).attach(sched)
+    return sched, auto
+
+
+# ----------------------------------------------------------------------
+# warm-up gating
+# ----------------------------------------------------------------------
+class TestWarmup:
+    def test_worker_not_routable_before_ready(self):
+        w = fake_worker("a0", ms=1.0)
+        w.ready_at_ms = 5.0
+        assert not w.routable(0.0)
+        assert not w.routable(4.999)
+        assert w.routable(5.0)
+
+    def test_no_dispatch_before_warmup_elapses(self, monkeypatch):
+        """A scaling-up worker's timeline accepts no batch before its
+        ready delay: every recorded batch start and every routing
+        decision naming it sits at or after ready_at_ms."""
+        starts = {}
+        orig = FleetWorker.serve_batch
+
+        def recording(self, batch, now_ms, shard_ctx=None):
+            starts.setdefault(self.name, []).append(now_ms)
+            return orig(self, batch, now_ms, shard_ctx=shard_ctx)
+
+        monkeypatch.setattr(FleetWorker, "serve_batch", recording)
+        policy = AutoscalePolicy(min_workers=1, max_workers=3,
+                                 catalogue=("2080ti",), depth_up=2.0,
+                                 cold_ms=3.0, warm_ms=1.0,
+                                 interval_ms=1.0, up_cooldown_ms=2.0)
+        spec = LoadSpec(requests=150, duration_ms=15.0, seed=3,
+                        classes=(RequestClass("c", 1.0, 8, None, 0),))
+        sched = FleetScheduler([fake_provider(0.5)("w0-base", "xavier")],
+                               router="cost")
+        auto = ElasticAutoscaler(policy, fake_provider(0.5)).attach(sched)
+        sched.run_load(spec.events(), autoscaler=auto)
+        ups = [e for e in auto.events if e["action"] == "scale-up"]
+        assert ups, "overload must trigger at least one scale-up"
+        for up in ups:
+            assert up["ready_ms"] > up["sim_ms"], "warm-up is never free"
+            served = starts.get(up["worker"], [])
+            assert served, "the autoscaled worker must end up serving"
+            assert min(served) >= up["ready_ms"]
+            routed = [d["sim_ms"] for d in sched.decisions
+                      if d["worker"] == up["worker"]]
+            assert routed and min(routed) >= up["ready_ms"]
+
+    def test_cold_tune_vs_warm_start_ready_times(self):
+        """First provision of a device class pays the cold autotune; the
+        next provision of the same class warm-starts from its tiles."""
+        policy = AutoscalePolicy(min_workers=1, max_workers=3,
+                                 catalogue=("2080ti",), depth_up=1.0,
+                                 warm_ms=1.0, cold_ms=6.0,
+                                 up_cooldown_ms=2.0)
+        sched, auto = make_autoscaled(policy)
+        for _ in range(30):
+            sched.submit(IMG)
+        auto.evaluate(0.0)
+        auto.evaluate(2.0)              # past the up-cooldown
+        ups = [e for e in auto.events if e["action"] == "scale-up"]
+        assert len(ups) == 2
+        assert ups[0]["warm"] is False and ups[0]["ready_ms"] == 6.0
+        assert ups[1]["warm"] is True and ups[1]["ready_ms"] == 3.0
+        sched.drain()
+        sched.close()
+
+    def test_initial_fleet_devices_count_as_warm(self):
+        """attach() seeds the warm set from the standing fleet — its tile
+        stores are already tuned."""
+        policy = AutoscalePolicy(min_workers=1, max_workers=2,
+                                 catalogue=("xavier",), depth_up=1.0,
+                                 warm_ms=1.0, cold_ms=6.0)
+        sched, auto = make_autoscaled(policy, base_device="xavier")
+        for _ in range(10):
+            sched.submit(IMG)
+        auto.evaluate(0.0)
+        (up,) = [e for e in auto.events if e["action"] == "scale-up"]
+        assert up["warm"] is True and up["ready_ms"] == 1.0
+        sched.drain()
+
+
+# ----------------------------------------------------------------------
+# scale-down drains, never kills
+# ----------------------------------------------------------------------
+class TestScaleDown:
+    def quiet_policy(self, **kw):
+        defaults = dict(min_workers=1, max_workers=4,
+                        catalogue=("xavier",), down_intervals=3,
+                        down_cooldown_ms=0.0, depth_down=1.0)
+        defaults.update(kw)
+        return AutoscalePolicy(**defaults)
+
+    def test_zero_lost_futures_across_busy_scale_down(self):
+        """Scaling down a worker that still holds queued requests must
+        resolve every future — drain, not kill."""
+        sched = FleetScheduler([fake_worker("w0-base", ms=1.0),
+                                fake_worker("w1-extra", ms=1.0)],
+                               router="round-robin")
+        auto = ElasticAutoscaler(self.quiet_policy(),
+                                 fake_provider()).attach(sched)
+        auto.ledger["w1-extra"]["added_ms"] = 0.5   # youngest → victim
+        futures = [sched.submit(IMG) for _ in range(2)]
+        victim = next(w for w in sched.workers if w.name == "w1-extra")
+        assert len(victim.queue) == 1               # round-robin split
+        for t in (0.0, 0.25, 0.5):                  # three quiet evals
+            auto.evaluate(t)
+        assert victim.draining
+        assert len(victim.queue) == 1, "draining must not drop the queue"
+        sched.drain()
+        assert all(f.done() for f in futures)
+        assert [f.result() is not None for f in futures] == [True, True]
+        assert sched.unresolved() == []
+        # the drained worker actually served its queued request
+        snap = sched.snapshot()
+        assert snap["completed_by_worker"].get("w1-extra") == 1
+        # ... and is retired once idle
+        auto.evaluate(5.0)
+        assert "w1-extra" not in [w.name for w in sched.workers]
+        assert auto.ledger["w1-extra"]["removed_ms"] is not None
+
+    def test_draining_worker_attracts_no_new_routing(self):
+        sched = FleetScheduler([fake_worker("w0-base", ms=1.0),
+                                fake_worker("w1-extra", ms=0.1)],
+                               router="cost")
+        w1 = sched.workers[1]
+        w1.draining = True
+        for _ in range(4):
+            sched.submit(IMG)
+        assert len(w1.queue) == 0
+        assert all(d["worker"] == "w0-base" for d in sched.decisions)
+
+    def test_remove_worker_refuses_non_empty_queue(self):
+        sched = FleetScheduler([fake_worker("a", ms=1.0),
+                                fake_worker("b", ms=1.0)], router="cost")
+        sched.submit(IMG)
+        holder = next(w for w in sched.workers if len(w.queue))
+        with pytest.raises(RuntimeError, match="zero lost futures"):
+            sched.remove_worker(holder.name)
+        sched.drain()
+        sched.remove_worker(holder.name)
+        assert [w.name for w in sched.workers] != []
+        with pytest.raises(KeyError):
+            sched.remove_worker(holder.name)
+
+    def test_scale_down_respects_min_workers(self):
+        sched, auto = make_autoscaled(self.quiet_policy(min_workers=1))
+        for t in range(10):                 # endless quiet
+            auto.evaluate(float(t))
+        assert len(sched.workers) == 1      # never below min
+
+
+# ----------------------------------------------------------------------
+# bounds under open-loop flash crowds
+# ----------------------------------------------------------------------
+class TestBoundsUnderLoad:
+    SPEC = LoadSpec(requests=300, duration_ms=30.0,
+                    bursts=(BurstEpisode(8.0, 12.0, 6.0),),
+                    classes=(RequestClass("c", 1.0, 8, None, 0),), seed=5)
+
+    def run(self, policy):
+        sched = FleetScheduler([fake_provider(0.5)("w0-base", "xavier")],
+                               router="cost")
+        auto = ElasticAutoscaler(policy, fake_provider(0.5)).attach(sched)
+        futures = sched.run_load(self.SPEC.events(), autoscaler=auto)
+        assert sched.unresolved() == []
+        assert all(f.done() for f in futures)
+        return sched, auto
+
+    def test_min_max_bounds_respected_under_flash_crowd(self):
+        policy = AutoscalePolicy(min_workers=1, max_workers=3,
+                                 catalogue=("xavier", "2080ti"),
+                                 depth_up=2.0, burn_up=1.0,
+                                 up_cooldown_ms=1.0, warm_ms=0.5,
+                                 cold_ms=2.0, down_cooldown_ms=2.0,
+                                 down_intervals=2)
+        sched, auto = self.run(policy)
+        # replay the event log: the *active* member count must stay
+        # inside [min, max] at every action boundary
+        active = 1
+        for e in auto.events:
+            if e["action"] == "scale-up":
+                active += 1
+                assert active <= policy.max_workers
+            elif e["action"] == "scale-down":
+                active -= 1
+                assert active >= policy.min_workers
+        assert auto.scale_ups() >= 1, "the flash crowd must trigger growth"
+        lo, hi = auto.concurrency_bounds()
+        assert hi <= policy.max_workers + auto.scale_downs()
+        assert lo >= 1
+
+    def test_autoscaled_run_is_deterministic(self):
+        policy = AutoscalePolicy(min_workers=1, max_workers=3,
+                                 catalogue=("xavier", "2080ti"),
+                                 depth_up=2.0, warm_ms=0.5, cold_ms=2.0)
+        snaps = []
+        for _ in range(2):
+            sched, auto = self.run(policy)
+            snaps.append((sched.snapshot(), auto.snapshot()))
+        assert snaps[0] == snaps[1]
+
+    def test_sim_worker_provider_prices_devices_differently(self):
+        provider = sim_worker_provider()
+        xavier = provider("a", "xavier")
+        ti = provider("b", "2080ti")
+        shape = (3, 32, 32)
+        assert xavier.predict_ms(shape, 1) > ti.predict_ms(shape, 1)
+        # pixel scaling: a 16px request costs a quarter of a 32px one
+        assert xavier.predict_ms((3, 16, 16), 1) == pytest.approx(
+            xavier.predict_ms(shape, 1) / 4.0)
+
+
+# ----------------------------------------------------------------------
+# policy grammar
+# ----------------------------------------------------------------------
+class TestPolicyGrammar:
+    def test_parse_full_policy(self):
+        p = parse_autoscale("min=2,max=6,catalogue=xavier|2080ti,p99=0.4,"
+                            "burn=1.5,burn-down=0.2,depth=3,depth-down=1,"
+                            "interval=0.5,up-cooldown=1,down-cooldown=8,"
+                            "settle=4,warm=0.5,cold=9")
+        assert p.min_workers == 2 and p.max_workers == 6
+        assert p.catalogue == ("xavier", "2080ti")
+        assert p.p99_ms == 0.4
+        assert p.burn_up == 1.5 and p.burn_down == 0.2
+        assert p.depth_up == 3.0 and p.depth_down == 1.0
+        assert p.interval_ms == 0.5
+        assert p.up_cooldown_ms == 1.0 and p.down_cooldown_ms == 8.0
+        assert p.down_intervals == 4
+        assert p.warm_ms == 0.5 and p.cold_ms == 9.0
+
+    @pytest.mark.parametrize("bad", [
+        "nope", "min=0", "min=3,max=2", "catalogue=", "interval=0",
+        "warm=-1", "what=1",
+    ])
+    def test_bad_policies_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_autoscale(bad)
+
+    def test_policy_slo_matches_p99(self):
+        p = parse_autoscale("p99=0.7")
+        assert p.slo.metric == "fleet_request_latency_ms"
+        assert p.slo.threshold_ms == 0.7
+        assert p.slo.quantile == 99.0
