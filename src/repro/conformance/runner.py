@@ -13,6 +13,10 @@ through the full check catalogue:
 ``plancache.bit_identical.*``  cached (cold + warm) runs reproduce the
                                uncached outputs and perf counters bit
                                for bit
+``plancache.delta_keyed_*``    a delta-keyed (streaming) cache hit — the
+                               session-anchor reuse path — reproduces the
+                               cold-miss outputs bit for bit and the
+                               anchor's perf counters exactly
 ``shard.bit_identical.*``      row-band and channel-group shard splits,
                                stitched back, reproduce the unsharded
                                output bit for bit (cold + warm shard
@@ -84,6 +88,8 @@ class ConformanceRunner:
         groups = [
             ("oracle", lambda: self._differential(arrays, cfg, tile)),
             ("plancache", lambda: self._plan_cache_checks(
+                arrays, cfg, tile)),
+            ("plancache.delta", lambda: self._delta_keyed_checks(
                 arrays, cfg, tile)),
             ("shard", lambda: self._shard_checks(arrays, cfg, tile)),
             ("inv.zero_offset", lambda: invariants.check_zero_offset(
@@ -202,6 +208,62 @@ class ConformanceRunner:
             results.append(CheckResult(
                 f"plancache.fused_bit_identical.{bk}",
                 passed=fused_out and fused_stats, detail=detail))
+        return results
+
+    # ------------------------------------------------------------------
+    def _delta_keyed_checks(self, arrays, cfg, tile) -> List[CheckResult]:
+        """Delta-keyed streaming lookups must be functionally exact.
+
+        An anchor frame is cached under a session, then a perturbed
+        "next frame" within the delta bound is served through the
+        anchor-reuse path (both eager and fused).  The exactness
+        guarantee (docs/streaming.md): delta-hit outputs are
+        bit-identical to a cold-miss run of the perturbed offsets —
+        blend weights are recomputed per frame — while the perf counters
+        are exactly the anchor's memoised simulation (the documented
+        temporal-coherence approximation).
+        """
+        x, off0 = arrays["x"], arrays["offset"]
+        w, b = arrays["weight"], arrays["bias"]
+        # deterministic small perturbation, comfortably inside the bound
+        # even after tex2D++'s fp16 offset quantisation
+        rng = np.random.default_rng(20260807)
+        off1 = (off0 + rng.uniform(-0.2, 0.2, size=off0.shape)
+                .astype(np.float32)).astype(np.float32)
+        results = []
+        for bk in TEX_BACKENDS:
+            pc = PlanCache(max_entries=8, delta_bound=0.3)
+            anchor = run_deform_op(bk, x, off0, w, b, cfg, self.spec,
+                                   tile=tile, plan_cache=pc,
+                                   session="conformance")
+            base1 = run_deform_op(bk, x, off1, w, b, cfg, self.spec,
+                                  tile=tile, plan_cache=None)
+            delta = run_deform_op(bk, x, off1, w, b, cfg, self.spec,
+                                  tile=tile, plan_cache=pc,
+                                  session="conformance")
+            fused_delta = run_deform_op(bk, x, off1, w, b, cfg, self.spec,
+                                        tile=tile, plan_cache=pc,
+                                        execution="fused",
+                                        session="conformance")
+            hit = pc.stats.delta_hits >= 1
+            same_out = (np.array_equal(delta.output, base1.output)
+                        and np.array_equal(fused_delta.output,
+                                           base1.output))
+            anchor_rows = _stats_rows(anchor.kernels)
+            same_stats = (_stats_rows(delta.kernels) == anchor_rows
+                          and _stats_rows(fused_delta.kernels)
+                          == anchor_rows)
+            detail = ""
+            if not hit:
+                detail = ("delta probe never hit "
+                          f"(rejects={pc.stats.delta_rejects})")
+            elif not same_out:
+                detail = "delta-hit output differs from cold-miss run"
+            elif not same_stats:
+                detail = "delta-hit perf counters differ from the anchor"
+            results.append(CheckResult(
+                f"plancache.delta_keyed_bit_identical.{bk}",
+                passed=hit and same_out and same_stats, detail=detail))
         return results
 
     # ------------------------------------------------------------------

@@ -1,0 +1,260 @@
+"""Procedural streaming video — the temporal-coherence workload.
+
+Every other generator in :mod:`repro.data` treats samples as i.i.d.
+single frames, but the dominant deployment for deformable ops is
+streaming vision (DCNv4 positions the deformable operator as *the*
+dynamic op for video backbones): consecutive frames of one stream
+produce highly similar offset fields.  This module makes that workload
+procedural and reproducible:
+
+* **frames** — the same parametric shapes as :mod:`repro.data.shapes`,
+  but each object follows a smooth closed-form trajectory (a Lissajous
+  path inside the canvas) with a smoothly varying deformation
+  parameter.  Per-frame shape draws are replayed from a fixed per-object
+  seed, so the *only* frame-to-frame change is the smooth motion — no
+  temporal popping;
+* **offsets** — one offset tensor per frame with an analytically
+  **bounded per-frame delta**: ``off_t = B + a_t * U1 + b_t * U2`` where
+  ``B`` is a smooth base field (the realistic learned-offset surrogate),
+  ``U1``/``U2`` are max-abs-normalised smooth unit fields and
+  ``(a_t, b_t)`` trace a slow circle whose step size guarantees
+  ``max|off_{t+1} - off_t| <= frame_delta``.  The step magnitude varies
+  along the circle, so the delta seen at frame stride ``s`` grows
+  smoothly with ``s`` — the delta-keyed plan cache's hit-rate decays
+  monotonically as stride grows (see docs/streaming.md);
+* **byte stability** — frames and offsets are pure functions of
+  ``(seed, frame index)``: random access through :meth:`VideoStream.frame`
+  never depends on iteration history, and :meth:`VideoStream.digest`
+  fingerprints the stream exactly like ``loadgen``'s byte-stable
+  arrival streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.shapes import (NUM_CLASSES, Instance, _smooth_field,
+                               render_instance)
+
+#: Default offset tensor shape (N, 2*taps*groups, out_h, out_w) used when
+#: the caller does not bind the stream to a concrete layer geometry.
+DEFAULT_OFFSET_SHAPE = (1, 18, 32, 32)
+
+
+@dataclass
+class VideoFrame:
+    """One frame of a procedural stream: image, ground truth, offsets."""
+
+    index: int
+    t_ms: float
+    image: np.ndarray                       # (3, S, S) float32 in [0, 1]
+    offset: np.ndarray                      # offset_shape float32
+    instances: List[Instance] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class _ObjectTrack:
+    """Closed-form trajectory of one object across the stream."""
+
+    label: int
+    scale: float
+    colour: Tuple[float, float, float]
+    seed: int                               # replayed shape draws
+    fx: float                               # Lissajous frequencies (rad/frame)
+    fy: float
+    px: float                               # phases
+    py: float
+    dphase: float                           # deformation oscillation phase
+
+
+class VideoStream:
+    """A deterministic, byte-stable procedural video stream.
+
+    ``frame_delta`` is the guaranteed bound on the max-abs offset change
+    between consecutive frames — the knob the delta-keyed plan cache's
+    ``delta_bound`` is tuned against.  ``offset_sigma`` sets both the
+    magnitude of the smooth base offsets and the radius of the temporal
+    excursion around them.
+
+    ``frame(t)`` is random-access and O(1) in history: benchmarks sweep
+    frame *stride* by simply sampling ``frame(0), frame(s), frame(2s)``.
+    """
+
+    def __init__(self, size: int = 64, num_objects: int = 2,
+                 num_frames: Optional[int] = 64, seed: int = 0,
+                 offset_shape: Tuple[int, ...] = DEFAULT_OFFSET_SHAPE,
+                 offset_sigma: float = 2.0, frame_delta: float = 0.25,
+                 deformation: float = 1.0, fps: float = 30.0):
+        if size < 16:
+            raise ValueError(f"size {size} too small (need >= 16)")
+        if num_objects < 1:
+            raise ValueError("num_objects must be >= 1")
+        if frame_delta <= 0:
+            raise ValueError(f"frame_delta must be > 0, got {frame_delta}")
+        if offset_sigma <= 0:
+            raise ValueError(f"offset_sigma must be > 0, got {offset_sigma}")
+        if fps <= 0:
+            raise ValueError(f"fps must be > 0, got {fps}")
+        if len(offset_shape) != 4:
+            raise ValueError(f"offset_shape must be 4-D (N, C, H, W), "
+                             f"got {offset_shape}")
+        self.size = int(size)
+        self.num_frames = None if num_frames is None else int(num_frames)
+        self.seed = int(seed)
+        self.offset_shape = tuple(int(d) for d in offset_shape)
+        self.offset_sigma = float(offset_sigma)
+        self.frame_delta = float(frame_delta)
+        self.deformation = float(deformation)
+        self.fps = float(fps)
+
+        # -- layout: fixed per-stream object tracks --------------------
+        layout = np.random.default_rng([self.seed, 0])
+        margin_frac = 0.30
+        self._margin = self.size * margin_frac
+        tracks: List[_ObjectTrack] = []
+        for i in range(int(num_objects)):
+            tracks.append(_ObjectTrack(
+                label=int(layout.integers(0, NUM_CLASSES)),
+                scale=float(layout.uniform(self.size * 0.12,
+                                           self.size * 0.20)),
+                colour=tuple(float(c)
+                             for c in layout.uniform(0.35, 1.0, size=3)),
+                seed=int(layout.integers(0, 2 ** 31)),
+                fx=float(layout.uniform(0.02, 0.06)),
+                fy=float(layout.uniform(0.02, 0.06)),
+                px=float(layout.uniform(0, 2 * np.pi)),
+                py=float(layout.uniform(0, 2 * np.pi)),
+                dphase=float(layout.uniform(0, 2 * np.pi)),
+            ))
+        self._tracks = tracks
+
+        # Background rendered once — frame-to-frame change is purely the
+        # object motion, like a static-camera stream.
+        bg_rng = np.random.default_rng([self.seed, 1])
+        self._background = bg_rng.uniform(
+            0.0, 0.25, size=(3, self.size, self.size)).astype(np.float32)
+
+        # -- offset model: B + a_t*U1 + b_t*U2 -------------------------
+        self._base = self._offset_field([self.seed, 2], self.offset_sigma)
+        u1 = self._offset_field([self.seed, 3], 1.0)
+        u2 = self._offset_field([self.seed, 4], 1.0)
+        self._u1 = u1 / max(float(np.max(np.abs(u1))), 1e-9)
+        self._u2 = u2 / max(float(np.max(np.abs(u2))), 1e-9)
+        #: excursion radius and angular step: |delta(off)| per frame is
+        #: bounded by |da| + |db| = 2*R*sin(w/2)*(|cos|+|sin|) and the
+        #: trig factor never exceeds sqrt(2), so choosing
+        #: sin(w/2) = frame_delta / (2*sqrt(2)*R) makes ``frame_delta``
+        #: a hard per-frame bound (test_video.py pins this).
+        self._radius = self.offset_sigma
+        ratio = self.frame_delta / (2.0 * np.sqrt(2.0) * self._radius)
+        self._omega = 2.0 * np.arcsin(min(ratio, 1.0))
+
+    # ------------------------------------------------------------------
+    def _offset_field(self, seed_seq: List[int],
+                      amplitude: float) -> np.ndarray:
+        """One smooth (N, C, H, W) field from bilinear-upsampled noise."""
+        rng = np.random.default_rng(seed_seq)
+        n, c, h, w = self.offset_shape
+        planes = [_smooth_field((h, w), amplitude, rng, grid=4)
+                  for _ in range(n * c)]
+        return np.stack(planes).reshape(self.offset_shape).astype(np.float32)
+
+    @property
+    def session(self) -> str:
+        """Stable session id for fleet routing / plan-cache anchoring."""
+        return f"video-{self.seed & 0xFFFFFFFF:08x}"
+
+    def offsets(self, t: int) -> np.ndarray:
+        """The frame-``t`` offset tensor (float32, fresh array)."""
+        if t < 0:
+            raise ValueError(f"frame index must be >= 0, got {t}")
+        a = self._radius * np.sin(self._omega * t)
+        b = self._radius * np.cos(self._omega * t)
+        off = self._base + np.float32(a) * self._u1 + np.float32(b) * self._u2
+        return off.astype(np.float32)
+
+    def frame(self, t: int) -> VideoFrame:
+        """Render frame ``t`` — pure function of (seed, t)."""
+        if t < 0:
+            raise ValueError(f"frame index must be >= 0, got {t}")
+        if self.num_frames is not None and t >= self.num_frames:
+            raise IndexError(f"frame {t} out of range "
+                             f"(num_frames={self.num_frames})")
+        size = self.size
+        image = self._background.copy()
+        lo, hi = self._margin, size - self._margin
+        mid, amp = (lo + hi) / 2.0, (hi - lo) / 2.0
+        instances: List[Instance] = []
+        for track in self._tracks:
+            cx = mid + amp * np.sin(track.fx * t + track.px)
+            cy = mid + amp * np.sin(track.fy * t + track.py)
+            # Deformation oscillates but never reaches 0: a zero skips
+            # the elastic-field draws inside render_instance and would
+            # desynchronise the replayed per-object rng stream.
+            deform = self.deformation * (0.65 + 0.35 * np.sin(
+                0.05 * t + track.dphase))
+            rng = np.random.default_rng([track.seed])
+            mask = render_instance(track.label, size, (float(cx), float(cy)),
+                                   track.scale, rng,
+                                   deformation=float(deform))
+            if mask.sum() < 12:
+                continue
+            for ch in range(3):
+                image[ch][mask] = track.colour[ch]
+            ys_idx, xs_idx = np.nonzero(mask)
+            box = (float(xs_idx.min()), float(ys_idx.min()),
+                   float(xs_idx.max() + 1), float(ys_idx.max() + 1))
+            instances.append(Instance(label=track.label, box=box, mask=mask))
+        return VideoFrame(index=t, t_ms=1e3 * t / self.fps,
+                          image=np.clip(image, 0.0, 1.0),
+                          offset=self.offsets(t), instances=instances)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        if self.num_frames is None:
+            raise TypeError("unbounded VideoStream has no len()")
+        return self.num_frames
+
+    def __iter__(self) -> Iterator[VideoFrame]:
+        t = 0
+        while self.num_frames is None or t < self.num_frames:
+            yield self.frame(t)
+            t += 1
+
+    def digest(self, num_frames: Optional[int] = None) -> str:
+        """Byte-stable fingerprint of the first ``num_frames`` frames.
+
+        Hashes the exact image and offset bytes (plus the stream header),
+        so any nondeterminism in rendering or the offset walk changes the
+        digest — the streaming analogue of ``loadgen``'s
+        ``stream_digest``.
+        """
+        n = num_frames if num_frames is not None else self.num_frames
+        if n is None:
+            raise ValueError("digest() of an unbounded stream needs "
+                             "num_frames")
+        h = hashlib.blake2b(digest_size=16)
+        header = (f"video1|size={self.size}|seed={self.seed}"
+                  f"|objects={len(self._tracks)}"
+                  f"|offset_shape={self.offset_shape}"
+                  f"|sigma={self.offset_sigma!r}"
+                  f"|delta={self.frame_delta!r}"
+                  f"|deformation={self.deformation!r}|fps={self.fps!r}")
+        h.update(header.encode())
+        for t in range(int(n)):
+            fr = self.frame(t)
+            h.update(np.ascontiguousarray(fr.image).tobytes())
+            h.update(np.ascontiguousarray(fr.offset).tobytes())
+        return h.hexdigest()
+
+
+def make_video(num_frames: int = 16, size: int = 64, num_objects: int = 2,
+               seed: int = 0, **kwargs) -> List[VideoFrame]:
+    """Materialise a short clip as a list of frames (test/bench sugar)."""
+    stream = VideoStream(size=size, num_objects=num_objects,
+                         num_frames=num_frames, seed=seed, **kwargs)
+    return [stream.frame(t) for t in range(num_frames)]

@@ -23,7 +23,8 @@ def run_deform_op(backend: str, x: np.ndarray, offset: np.ndarray,
                   compute_output: bool = True,
                   layer: str = "",
                   plan_cache=None,
-                  execution: str = "eager") -> OpResult:
+                  execution: str = "eager",
+                  session: Optional[str] = None) -> OpResult:
     """Run one deformable conv through the selected backend.
 
     ``layer`` attributes the launched kernels to a model layer (a dotted
@@ -47,11 +48,13 @@ def run_deform_op(backend: str, x: np.ndarray, offset: np.ndarray,
     elif backend == "tex2d":
         res = run_tex2d(x, offset, weight, bias, cfg, spec, tile=tile,
                         plan=plan, compute_output=compute_output,
-                        plan_cache=plan_cache, execution=execution)
+                        plan_cache=plan_cache, execution=execution,
+                        session=session)
     elif backend == "tex2dpp":
         res = run_tex2dpp(x, offset, weight, bias, cfg, spec, tile=tile,
                           plan=plan, compute_output=compute_output,
-                          plan_cache=plan_cache, execution=execution)
+                          plan_cache=plan_cache, execution=execution,
+                          session=session)
     else:
         raise ValueError(
             f"unknown backend {backend!r}; choose from {BACKENDS}")

@@ -104,6 +104,26 @@ class FusedPlan:
         return (self.idx.nbytes + self.wts.nbytes + self.cols.nbytes
                 + self.corner.nbytes + self.out.nbytes)
 
+    def retarget(self, idx: np.ndarray, wts: np.ndarray) -> "FusedPlan":
+        """Swap in freshly computed tap tables, keeping the buffers.
+
+        The delta-keyed streaming path of the plan cache recomputes the
+        corner indices and fixed-point blend weights for every frame (the
+        exactness guarantee) but reuses this plan's preallocated
+        gather/column/output buffers across the stream.  Taken under the
+        execution lock, so an in-flight :meth:`execute` never sees a
+        half-swapped table pair.
+        """
+        if idx.shape != self.idx.shape or wts.shape != self.wts.shape:
+            raise ValueError(
+                f"retarget tables {idx.shape}/{wts.shape} do not match the "
+                f"compiled plan {self.idx.shape}/{self.wts.shape} — the "
+                f"session anchor should have pinned the geometry")
+        with self._lock:
+            self.idx = idx
+            self.wts = wts
+        return self
+
     # ------------------------------------------------------------------
     def execute(self, x: np.ndarray, weight: np.ndarray,
                 bias: Optional[np.ndarray]) -> np.ndarray:

@@ -25,12 +25,27 @@ re-tiled path replays the exact accounting of ``simulate()`` — so the
 cache is a pure wall-time optimisation with no modelling drift (tests
 assert this property over random offsets, geometries and tiles).
 
+**Delta-keyed streaming mode** (``delta_bound`` + a ``session=``
+argument on lookups): consecutive video frames produce offset tensors
+whose digests never repeat but whose values barely move.  With a bound
+configured, an exact-digest miss probes the session's *anchor* — the
+entry built for the stream's last exactly-keyed frame — and when the
+quantised offset delta stays within the bound the anchor's memoised
+trace/tile simulation and preallocated fused buffers are reused instead
+of rebuilding everything.  Functional outputs stay **bit-identical** to
+a cold miss: the fixed-point blend weights and corner indices are always
+recomputed from the *current* frame's positions (only the buffers are
+recycled); the per-tile perf simulation is served from the anchor, which
+is the documented temporal-coherence approximation.  See
+``docs/streaming.md``.
+
 Observability: bind a :class:`~repro.obs.registry.MetricsRegistry` to get
-``plan_cache_lookups{result=hit|miss}`` and ``plan_cache_trace_builds``
-counters (``repro serve --metrics-out`` surfaces them), and a
-:class:`~repro.obs.tracer.SpanTracer` to see ``plancache.build_trace`` /
-``plancache.retile`` spans on the wall timeline.  See
-``docs/performance.md``.
+``plan_cache_lookups{result=hit|miss}``, ``plan_cache_trace_builds``,
+``plan_cache_evictions`` and ``plan_cache_delta_hits`` /
+``plan_cache_delta_rejects`` counters (``repro serve --metrics-out``
+surfaces them), and a :class:`~repro.obs.tracer.SpanTracer` to see
+``plancache.build_trace`` / ``plancache.retile`` spans on the wall
+timeline.  See ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -49,7 +64,7 @@ from repro.gpusim.cache import (TexelLineTrace, TextureCacheModel,
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.trace import SamplePlan, cta_ids_for_tile, sample_trace_ctas
 from repro.kernels.config import LayerConfig
-from repro.kernels.fused import FusedPlan, build_fused_plan
+from repro.kernels.fused import FusedPlan, build_fused_plan, tap_tables
 from repro.kernels.shards import (ShardGatherPlan, ShardSpec,
                                   build_shard_gather_plan)
 
@@ -97,6 +112,24 @@ class _TraceEntry:
     shards: Dict[tuple, ShardGatherPlan] = field(default_factory=dict)
 
 
+@dataclass
+class _SessionAnchor:
+    """Per-(session, geometry) delta-keying state.
+
+    ``key`` points at the trace entry built for the stream's last
+    exactly-keyed frame; ``offset`` is a private copy of that frame's
+    (quantised, for tex2D++) offsets, the reference the per-frame delta
+    is measured against.  ``plans`` are the session-owned
+    :class:`FusedPlan` objects whose preallocated buffers are reused
+    across the stream — their tap tables are *retargeted* to the current
+    frame on every delta hit, so outputs never inherit stale weights.
+    """
+
+    key: tuple
+    offset: np.ndarray
+    plans: Dict[Tuple[int, int], FusedPlan] = field(default_factory=dict)
+
+
 class PlanCacheStats:
     """Hit/miss/build counters of one :class:`PlanCache` (thread-safe)."""
 
@@ -106,11 +139,17 @@ class PlanCacheStats:
         self.trace_builds = 0
         self.fused_builds = 0
         self.shard_builds = 0
+        self.evictions = 0
+        self.delta_hits = 0
+        self.delta_rejects = 0
         self._lock = threading.Lock()
         self._lookup_counter = None
         self._build_counter = None
         self._fused_counter = None
         self._shard_counter = None
+        self._eviction_counter = None
+        self._delta_hit_counter = None
+        self._delta_reject_counter = None
         self._build_window = None
 
     @property
@@ -136,6 +175,20 @@ class PlanCacheStats:
                 "plan_cache_shard_builds",
                 help="shard gather plans compiled by the plan cache "
                      "(one per distinct offsets+geometry+shard)")
+            self._eviction_counter = registry.counter(
+                "plan_cache_evictions",
+                help="trace entries dropped at the LRU bound (a high rate "
+                     "under streaming means max_entries is too small for "
+                     "the live session count)")
+            self._delta_hit_counter = registry.counter(
+                "plan_cache_delta_hits",
+                help="exact-digest misses served from a session anchor "
+                     "(trace/tile simulation and fused buffers reused; "
+                     "blend weights recomputed for the current frame)")
+            self._delta_reject_counter = registry.counter(
+                "plan_cache_delta_rejects",
+                help="session-anchor probes whose quantised offset delta "
+                     "exceeded the bound (full rebuild + re-anchor)")
             self._build_window = registry.windowed_histogram(
                 "plan_cache_build_ms",
                 help="wall ms spent compiling plans (trace/fused), "
@@ -150,6 +203,12 @@ class PlanCacheStats:
                 self._fused_counter.inc(self.fused_builds)
             if self.shard_builds:
                 self._shard_counter.inc(self.shard_builds)
+            if self.evictions:
+                self._eviction_counter.inc(self.evictions)
+            if self.delta_hits:
+                self._delta_hit_counter.inc(self.delta_hits)
+            if self.delta_rejects:
+                self._delta_reject_counter.inc(self.delta_rejects)
         return self
 
     def record_hit(self) -> None:
@@ -187,6 +246,27 @@ class PlanCacheStats:
         if counter is not None:
             counter.inc()
 
+    def record_eviction(self) -> None:
+        with self._lock:
+            self.evictions += 1
+            counter = self._eviction_counter
+        if counter is not None:
+            counter.inc()
+
+    def record_delta_hit(self) -> None:
+        with self._lock:
+            self.delta_hits += 1
+            counter = self._delta_hit_counter
+        if counter is not None:
+            counter.inc()
+
+    def record_delta_reject(self) -> None:
+        with self._lock:
+            self.delta_rejects += 1
+            counter = self._delta_reject_counter
+        if counter is not None:
+            counter.inc()
+
     def record_build_ms(self, kind: str, duration_ms: float) -> None:
         """Windowed build-duration sample (``kind`` = trace|fused)."""
         with self._lock:
@@ -207,7 +287,10 @@ class PlanCacheStats:
         return (f"PlanCacheStats(hits={self.hits}, misses={self.misses}, "
                 f"trace_builds={self.trace_builds}, "
                 f"fused_builds={self.fused_builds}, "
-                f"shard_builds={self.shard_builds})")
+                f"shard_builds={self.shard_builds}, "
+                f"evictions={self.evictions}, "
+                f"delta_hits={self.delta_hits}, "
+                f"delta_rejects={self.delta_rejects})")
 
 
 class PlanCache:
@@ -217,19 +300,30 @@ class PlanCache:
     ----------
     max_entries:
         Distinct (offset digest, geometry, plan, fp16) trace entries kept
-        live; least-recently-used entries are evicted beyond this.  Each
-        entry additionally holds one stats record per tile requested
-        against it (the legal tile space is small, so this inner dict is
-        naturally bounded).
+        live; least-recently-used entries are evicted beyond this (each
+        eviction counts on ``stats.evictions``).  Each entry additionally
+        holds one stats record per tile requested against it (the legal
+        tile space is small, so this inner dict is naturally bounded).
+    delta_bound:
+        Enables the delta-keyed streaming mode: on an exact-digest miss
+        with a ``session=`` supplied, the session's anchor entry is
+        reused whenever ``max|offset - anchor_offset|`` (measured on the
+        offsets as passed — already fp16-quantised for tex2D++) stays
+        within this bound.  ``None`` (default) keeps lookups exact-only.
     registry / tracer:
         Optional observability hooks — see the module docstring.
     """
 
     def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES,
-                 registry=None, tracer=None):
+                 registry=None, tracer=None,
+                 delta_bound: Optional[float] = None):
         if max_entries < 1:
             raise ValueError("plan cache needs max_entries >= 1")
+        if delta_bound is not None and delta_bound <= 0:
+            raise ValueError("delta_bound must be > 0 (or None for "
+                             "exact-only keying)")
         self.max_entries = max_entries
+        self.delta_bound = delta_bound
         self.stats = PlanCacheStats()
         self.tracer = tracer
         self._lock = threading.Lock()
@@ -237,6 +331,8 @@ class PlanCache:
         #: per-key in-flight build guards — concurrent misses on the same
         #: key coalesce onto one build instead of racing ``_build_entry``
         self._building: Dict[tuple, threading.Event] = {}
+        #: (session, offset shape, geometry...) → _SessionAnchor
+        self._anchors: Dict[tuple, _SessionAnchor] = {}
         if registry is not None:
             self.stats.bind_registry(registry)
 
@@ -252,6 +348,27 @@ class PlanCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._anchors.clear()
+
+    @property
+    def session_count(self) -> int:
+        """Live (session, geometry) anchors held by the cache."""
+        with self._lock:
+            return len(self._anchors)
+
+    def end_session(self, session: str) -> int:
+        """Drop every anchor (and its session-owned fused buffers) of one
+        stream — the fleet calls this when a stream's last frame resolves,
+        so per-session state never outlives the session.  Returns how many
+        anchors were dropped.  The anchor's *trace entry* stays in the LRU
+        (it may be the exact-keyed entry of another lookup) and ages out
+        normally."""
+        akeys = []
+        with self._lock:
+            akeys = [k for k in self._anchors if k[0] == session]
+            for k in akeys:
+                del self._anchors[k]
+        return len(akeys)
 
     @staticmethod
     def _trace_key(digest: str, cfg: LayerConfig, spec: DeviceSpec,
@@ -268,7 +385,8 @@ class PlanCache:
     def tex_stats(self, offset: np.ndarray, cfg: LayerConfig,
                   spec: DeviceSpec, tile: Tuple[int, int], fp16: bool,
                   plan: Optional[SamplePlan], concurrent_layers: int,
-                  positions: Callable[[], Tuple[np.ndarray, np.ndarray]]
+                  positions: Callable[[], Tuple[np.ndarray, np.ndarray]],
+                  session: Optional[str] = None
                   ) -> Tuple[TextureCacheStats, float]:
         """Memoised equivalent of trace-build + ``simulate`` for one call.
 
@@ -277,6 +395,12 @@ class PlanCache:
         has to be built, so steady-state hits never touch the sampling
         positions at all.  Returns ``(stats, trace_scale)`` exactly as the
         uncached path would produce them.
+
+        With ``session`` set and :attr:`delta_bound` configured, an
+        exact-digest miss whose offsets stay within the bound of the
+        session's anchor is served from the anchor's memoised simulation
+        (a *delta hit* — the temporal-coherence approximation; the
+        positions callable is never invoked).
         """
         plan = plan or SamplePlan()
         tile = (int(tile[0]), int(tile[1]))
@@ -289,21 +413,103 @@ class PlanCache:
                 cached = entry.stats.get(stats_key)
                 if cached is not None:
                     self.stats.record_hit()
+                    if session is not None and self.delta_bound is not None:
+                        self._set_anchor(session, key, offset)
                     return cached
+        # Delta-keying only applies on an exact-digest miss; a known
+        # digest with an unseen (tile, concurrency) combination is a
+        # plain miss that simulates against its own trace.
+        if entry is None and session is not None \
+                and self.delta_bound is not None:
+            anchored = self._probe_anchor(session, key, offset)
+            if anchored is not None:
+                result = self._anchored_tile(anchored, cfg, spec, tile,
+                                             plan, stats_key,
+                                             int(concurrent_layers))
+                self.stats.record_delta_hit()
+                return result
         self.stats.record_miss()
         entry = self._acquire_entry(key, cfg, spec, plan, positions)
         result = self._simulate_tile(entry, cfg, spec, tile, plan,
                                      int(concurrent_layers))
         with self._lock:
             entry.stats.setdefault(stats_key, result)
+            if session is not None and self.delta_bound is not None:
+                self._set_anchor(session, key, offset)
         return result
+
+    # -- delta-keyed streaming mode ------------------------------------
+    def _anchor_key(self, session: str, key: tuple,
+                    offset: np.ndarray) -> tuple:
+        # One anchor per (session, offset shape, geometry/device/plan):
+        # the digest (key[0]) is deliberately dropped — that is the whole
+        # point — and the offset shape keeps a session that alternates
+        # batch sizes from aliasing anchors with mismatched tensors.
+        return (session, tuple(offset.shape)) + key[1:]
+
+    def _set_anchor(self, session: str, key: tuple,
+                    offset: np.ndarray) -> None:
+        """(Re-)anchor a session at an exactly-keyed entry (lock held).
+
+        Both exact misses (after the build) and exact hits re-anchor:
+        whichever frame the session last resolved *exactly* is the
+        reference its next delta is measured against."""
+        akey = self._anchor_key(session, key, offset)
+        old = self._anchors.get(akey)
+        self._anchors[akey] = _SessionAnchor(
+            key=key, offset=np.array(offset, dtype=np.float32, copy=True),
+            plans=old.plans if old is not None else {})
+
+    def _probe_anchor(self, session: str, key: tuple, offset: np.ndarray
+                      ) -> Optional[Tuple[_SessionAnchor, _TraceEntry]]:
+        """The delta probe: (anchor, its live entry) iff within bound.
+
+        Returns None — and counts a reject when an anchor actually lost —
+        on: no anchor yet, anchor entry already evicted (the stream must
+        re-anchor), or quantised delta over the bound.
+        """
+        akey = self._anchor_key(session, key, offset)
+        with self._lock:
+            anchor = self._anchors.get(akey)
+            if anchor is None:
+                return None
+            entry = self._entries.get(anchor.key)
+            if entry is None:
+                # evicted under multi-stream cache pressure — drop the
+                # anchor (its fused buffers went with the LRU lifetime
+                # story) and rebuild exactly
+                del self._anchors[akey]
+                return None
+            if offset.shape != anchor.offset.shape:
+                return None
+            delta = float(np.max(np.abs(offset - anchor.offset))) \
+                if offset.size else 0.0
+            if delta > self.delta_bound:
+                self.stats.record_delta_reject()
+                return None
+            self._entries.move_to_end(anchor.key)
+            return anchor, entry
+
+    def _anchored_tile(self, anchored, cfg, spec, tile, plan, stats_key,
+                       concurrent_layers):
+        """Per-tile stats through the anchor's trace (new tiles simulate
+        against the anchor's fetch trace — still no trace rebuild)."""
+        _, entry = anchored
+        with self._lock:
+            cached = entry.stats.get(stats_key)
+        if cached is not None:
+            return cached
+        result = self._simulate_tile(entry, cfg, spec, tile, plan,
+                                     concurrent_layers)
+        with self._lock:
+            return entry.stats.setdefault(stats_key, result)
 
     # ------------------------------------------------------------------
     def fused_plan(self, offset: np.ndarray, cfg: LayerConfig,
                    spec: DeviceSpec, fp16: bool,
                    plan: Optional[SamplePlan],
-                   positions: Callable[[], Tuple[np.ndarray, np.ndarray]]
-                   ) -> FusedPlan:
+                   positions: Callable[[], Tuple[np.ndarray, np.ndarray]],
+                   session: Optional[str] = None) -> FusedPlan:
         """Get-or-compile the fused execution plan for one call.
 
         ``positions`` lazily supplies the **full** (N, dg, K, L)
@@ -312,10 +518,36 @@ class PlanCache:
         entry as the memoised stats (one digest key, one LRU lifetime),
         keyed inside it by (in_channels, out_channels); compiles coalesce
         under the same in-flight guard as trace builds.
+
+        With ``session`` + :attr:`delta_bound`, an exact miss within the
+        bound of the session's anchor is served by *retargeting* the
+        session-owned plan: the tap tables (corner indices + 1.8
+        fixed-point blend weights) are recomputed from the **current**
+        frame's positions — so execution stays bit-identical to a cold
+        compile — while the preallocated gather/column/output buffers are
+        reused across the stream.
         """
         plan = plan or SamplePlan()
         key = self._trace_key(offsets_digest(offset), cfg, spec, fp16, plan)
         fkey = (cfg.in_channels, cfg.out_channels)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                fused = entry.fused.get(fkey)
+                if fused is not None:
+                    self.stats.record_hit()
+                    if session is not None and self.delta_bound is not None:
+                        self._set_anchor(session, key, offset)
+                    return fused
+        # Delta-keying only applies on an exact-digest miss — a known
+        # digest compiles its own plan on the shared entry.
+        if entry is None and session is not None \
+                and self.delta_bound is not None:
+            anchored = self._probe_anchor(session, key, offset)
+            if anchored is not None:
+                return self._retarget_fused(anchored[0], cfg, spec, fp16,
+                                            positions, fkey)
         guard = (key, "fused", fkey)
         while True:
             with self._lock:
@@ -325,6 +557,9 @@ class PlanCache:
                     fused = entry.fused.get(fkey)
                     if fused is not None:
                         self.stats.record_hit()
+                        if session is not None \
+                                and self.delta_bound is not None:
+                            self._set_anchor(session, key, offset)
                         return fused
                 event = self._building.get(guard)
                 if event is None:
@@ -340,10 +575,37 @@ class PlanCache:
             fused = self._build_fused(cfg, spec, fp16, positions)
             with self._lock:
                 fused = entry.fused.setdefault(fkey, fused)
+                if session is not None and self.delta_bound is not None:
+                    self._set_anchor(session, key, offset)
         finally:
             with self._lock:
                 self._building.pop(guard, None)
             event.set()
+        return fused
+
+    def _retarget_fused(self, anchor: _SessionAnchor, cfg: LayerConfig,
+                        spec: DeviceSpec, fp16: bool, positions,
+                        fkey: Tuple[int, int]) -> FusedPlan:
+        """Serve a fused delta hit from the session-owned plan.
+
+        The first delta hit of a stream allocates the session's plan (one
+        buffer allocation amortised over the whole stream); every later
+        hit only rebuilds the cheap elementwise tap tables and swaps them
+        in under the plan's execution lock.
+        """
+        t0 = time.perf_counter()
+        py, px = positions()
+        idx, wts = tap_tables(py, px, cfg.height, cfg.width, fp16)
+        fused = anchor.plans.get(fkey)
+        if fused is None:
+            fused = FusedPlan(cfg, fp16, idx, wts)
+            with self._lock:
+                fused = anchor.plans.setdefault(fkey, fused)
+        else:
+            fused.retarget(idx, wts)
+        self.stats.record_delta_hit()
+        self.stats.record_build_ms("retarget",
+                                   (time.perf_counter() - t0) * 1e3)
         return fused
 
     # ------------------------------------------------------------------
@@ -462,6 +724,10 @@ class PlanCache:
                 self._entries.move_to_end(key)
                 while len(self._entries) > self.max_entries:
                     self._entries.popitem(last=False)
+                    # eviction used to be silent; under many concurrent
+                    # streams it is the signal that max_entries is too
+                    # small for the live anchor set
+                    self.stats.record_eviction()
         finally:
             with self._lock:
                 self._building.pop(key, None)

@@ -50,7 +50,8 @@ def run_tex2d(x: np.ndarray, offset: np.ndarray, weight: np.ndarray,
               plan: Optional[SamplePlan] = None,
               compute_output: bool = True,
               plan_cache: Optional["PlanCache"] = None,
-              execution: str = "eager") -> OpResult:
+              execution: str = "eager",
+              session: Optional[str] = None) -> OpResult:
     """Execute the texture-hardware deformable conv (tex2D / tex2D++).
 
     ``fp16_offsets=True`` selects the tex2D++ variant.  ``plan_cache``
@@ -65,6 +66,13 @@ def run_tex2d(x: np.ndarray, offset: np.ndarray, weight: np.ndarray,
     and fixed-point blend weights, preallocated buffers, one gather →
     blend → GEMM pass.  Outputs and kernel stats are bit-identical to
     eager execution (see docs/performance.md).
+
+    ``session`` names the video stream this call belongs to; on a plan
+    cache with a ``delta_bound`` it unlocks delta-keyed lookups — an
+    exact-digest miss within the bound of the session's anchor reuses the
+    anchor's trace simulation and fused buffers while the blend weights
+    are recomputed for this frame, so functional outputs stay
+    bit-identical to a cold miss (see docs/streaming.md).
     """
     plan = plan or SamplePlan()
     validate_execution(execution, plan_cache)
@@ -96,7 +104,7 @@ def run_tex2d(x: np.ndarray, offset: np.ndarray, weight: np.ndarray,
     output = None
     if compute_output and execution == "fused":
         fplan = plan_cache.fused_plan(off, cfg, spec, fp16_offsets, plan,
-                                      positions)
+                                      positions, session=session)
         output = fplan.execute(x, weight, bias)
     elif compute_output:
         py, px = positions()
@@ -130,7 +138,8 @@ def run_tex2d(x: np.ndarray, offset: np.ndarray, weight: np.ndarray,
         # trace build (they are the same tex2D++ launch).
         tex_stats, scale = plan_cache.tex_stats(
             off, cfg, spec, tile, fp16_offsets, plan, concurrent_layers,
-            lambda: (positions()[0][0, 0], positions()[1][0, 0]))
+            lambda: (positions()[0][0, 0], positions()[1][0, 0]),
+            session=session)
     else:
         py, px = positions()
         y0, x0, cta, scale = texture_fetch_trace(py[0, 0], px[0, 0],
@@ -207,9 +216,10 @@ def run_tex2dpp(x: np.ndarray, offset: np.ndarray, weight: np.ndarray,
                 plan: Optional[SamplePlan] = None,
                 compute_output: bool = True,
                 plan_cache: Optional["PlanCache"] = None,
-                execution: str = "eager") -> OpResult:
+                execution: str = "eager",
+                session: Optional[str] = None) -> OpResult:
     """The tex2D++ variant: fp16 offsets, half the offset bandwidth."""
     return run_tex2d(x, offset, weight, bias, cfg, spec, tile=tile,
                      fp16_offsets=True, plan=plan,
                      compute_output=compute_output, plan_cache=plan_cache,
-                     execution=execution)
+                     execution=execution, session=session)

@@ -121,6 +121,10 @@ class TextureRuntime:
     plan_cache: Optional[PlanCache] = None
     #: "eager" or "fused" — forwarded to the texture backends
     execution: str = "eager"
+    #: active video-stream session stamped on texture-backend calls; with
+    #: a delta-bounded plan cache this unlocks delta-keyed lookups
+    #: (see docs/streaming.md)
+    session: Optional[str] = None
     #: fleet shard-execution hook (a
     #: :class:`~repro.fleet.shard.ShardContext`): when set, each layer is
     #: offered to it first and only falls through to the local backend
@@ -192,7 +196,8 @@ class TextureRuntime:
                             tile=tile, compute_output=True,
                             layer=getattr(layer, "layer_name", ""),
                             plan_cache=self.plan_cache,
-                            execution=self.execution)
+                            execution=self.execution,
+                            session=self.session)
         for k in res.kernels:
             self.log.add(k)
         return Tensor(res.output.astype(np.float32))
@@ -226,6 +231,13 @@ class DefconEngine:
     steady-state serving fast path.  Fused plans live on the plan-cache
     entries, so fused execution with ``plan_cache=False`` is a
     configuration error (raised here, not at first inference).
+
+    ``delta_bound`` enables the streaming delta-keyed plan-cache mode on
+    the engine's private cache (see docs/streaming.md): with a session
+    stamped via :meth:`set_session`, consecutive video frames whose
+    quantised offsets stay within the bound reuse the session anchor's
+    trace simulation and fused buffers — outputs remain bit-identical
+    because blend weights are recomputed per frame.
     """
 
     def __init__(self, model: Module, spec: DeviceSpec,
@@ -235,7 +247,8 @@ class DefconEngine:
                  registry: Optional[MetricsRegistry] = None,
                  tracer: Optional[SpanTracer] = None,
                  max_log_records: Optional[int] = ProfileLog.DEFAULT_MAX_RECORDS,
-                 plan_cache=None, execution: str = "eager"):
+                 plan_cache=None, execution: str = "eager",
+                 delta_bound: Optional[float] = None):
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; choose from {BACKENDS}")
@@ -248,10 +261,21 @@ class DefconEngine:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer
         if plan_cache is False:
+            if delta_bound is not None:
+                raise ValueError("delta_bound requires a plan cache — "
+                                 "delta-keyed lookups live on PlanCache "
+                                 "(see docs/streaming.md)")
             self.plan_cache: Optional[PlanCache] = None
         elif plan_cache is None:
-            self.plan_cache = PlanCache(registry=self.registry, tracer=tracer)
+            self.plan_cache = PlanCache(registry=self.registry, tracer=tracer,
+                                        delta_bound=delta_bound)
         else:
+            if delta_bound is not None \
+                    and plan_cache.delta_bound != delta_bound:
+                raise ValueError(
+                    f"shared plan cache has delta_bound="
+                    f"{plan_cache.delta_bound!r}, engine asked for "
+                    f"{delta_bound!r} — configure the bound on the cache")
             # A shared cache keeps publishing to whichever registry bound
             # it first — a second engine must not steal its counters.
             self.plan_cache = plan_cache
@@ -345,6 +369,27 @@ class DefconEngine:
         """Hit/miss/build counters of the perf-model plan cache (None =
         caching disabled)."""
         return self.plan_cache.stats if self.plan_cache is not None else None
+
+    # -- streaming sessions (docs/streaming.md) ------------------------
+    def set_session(self, session: Optional[str]) -> None:
+        """Stamp subsequent layer executions with a video-stream session.
+
+        With a delta-bounded plan cache this unlocks delta-keyed lookups:
+        an exact-digest miss within ``delta_bound`` of the session's
+        anchor reuses the anchor's memoised trace simulation and fused
+        buffers while blend weights are recomputed per frame.  Pass
+        ``None`` to return to plain exact-keyed lookups.
+        """
+        self._runtime.session = session
+
+    def end_session(self, session: str) -> int:
+        """Drop the plan cache's per-session anchor state for one ended
+        stream; returns the number of anchors released."""
+        if self._runtime.session == session:
+            self._runtime.session = None
+        if self.plan_cache is None:
+            return 0
+        return self.plan_cache.end_session(session)
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "DefconEngine":

@@ -1,0 +1,40 @@
+"""Streaming-video subsystem facade.
+
+``repro.video`` bundles the pieces a video-serving caller needs into one
+import surface:
+
+* the procedural video source (:class:`~repro.data.video.VideoStream`,
+  :func:`~repro.data.video.make_video`), whose consecutive frames carry
+  offset fields with a bounded per-frame delta;
+* the delta-keyed plan cache
+  (:class:`~repro.kernels.plancache.PlanCache` with ``delta_bound`` set),
+  which reuses a session's anchored fetch trace and fused buffers across
+  frames while keeping outputs bit-identical to a cold run;
+* the session-aware engine surface
+  (:meth:`~repro.pipeline.engine.DefconEngine.set_session` /
+  :meth:`~repro.pipeline.engine.DefconEngine.end_session`).
+
+See docs/streaming.md for the temporal-coherence model and the exactness
+guarantee behind delta keying.
+"""
+
+from __future__ import annotations
+
+from repro.data.video import (
+    DEFAULT_OFFSET_SHAPE,
+    VideoFrame,
+    VideoStream,
+    make_video,
+)
+from repro.kernels.plancache import PlanCache, PlanCacheStats
+from repro.pipeline.engine import DefconEngine
+
+__all__ = [
+    "DEFAULT_OFFSET_SHAPE",
+    "DefconEngine",
+    "PlanCache",
+    "PlanCacheStats",
+    "VideoFrame",
+    "VideoStream",
+    "make_video",
+]

@@ -1,0 +1,204 @@
+"""Session-aware serving: loadgen sessions + scheduler affinity.
+
+Covers the streaming half of docs/streaming.md that lives in the fleet:
+
+* the ``--loadgen`` class grammar's ``session_frames`` field (and its
+  strict rejection of unknown trailing fields);
+* session assignment in :meth:`LoadSpec.events` — fixed-length video
+  sessions carved out of each class's arrivals *without* disturbing the
+  random stream (sessionless specs keep their historical byte digests);
+* scheduler session affinity — frames of one stream stick to one worker
+  so its plan-cache anchor stays hot, spill only under saturation, and
+  per-session state is evicted exactly once the stream fully resolves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fleet import (FleetScheduler, FleetWorker, LoadSpec,
+                         RequestClass, parse_loadgen)
+from repro.obs import MetricsRegistry
+
+pytestmark = [pytest.mark.fleet, pytest.mark.streaming]
+
+IMG = np.zeros((3, 8, 8), dtype=np.float32)
+IMG16 = np.zeros((3, 16, 16), dtype=np.float32)
+
+
+class SessionEngine:
+    """Classify stub that records session evictions."""
+
+    def __init__(self):
+        self.ended = []
+
+    def classify(self, images):
+        return np.arange(images.shape[0], dtype=np.int64)
+
+    def end_session(self, session):
+        self.ended.append(session)
+        return 1
+
+
+def worker(name, ms, **kw):
+    return FleetWorker(name, SessionEngine(),
+                       predictor=lambda shape, batch, ms=ms: ms * batch,
+                       **kw)
+
+
+# ----------------------------------------------------------------------
+# loadgen grammar + session assignment
+# ----------------------------------------------------------------------
+class TestLoadgenGrammar:
+    def test_session_frames_field(self):
+        spec = parse_loadgen("classes=vid:2:16:40:1:5")
+        (cls,) = spec.classes
+        assert cls.session_frames == 5
+        assert (cls.name, cls.weight, cls.input_size) == ("vid", 2.0, 16)
+        assert cls.deadline_ms == 40.0 and cls.priority == 1
+
+    def test_dash_means_sessionless(self):
+        spec = parse_loadgen("classes=a:1:16:-:0:-|b:1:16")
+        assert all(c.session_frames is None for c in spec.classes)
+
+    def test_unknown_trailing_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown trailing fields"):
+            parse_loadgen("classes=vid:1:16:-:0:5:bogus")
+
+    def test_session_frames_validated(self):
+        with pytest.raises(ValueError, match="session_frames"):
+            parse_loadgen("classes=vid:1:16:-:0:0")
+
+
+class TestSessionAssignment:
+    def _spec(self, session_frames, seed=7):
+        return LoadSpec(requests=24, duration_ms=24.0, seed=seed,
+                        classes=(RequestClass("vid", input_size=8,
+                                              session_frames=session_frames),))
+
+    def test_fixed_length_sessions_with_flagged_tails(self):
+        events = self._spec(session_frames=4).events()
+        assert events, "empty stream"
+        for i, a in enumerate(events):
+            assert a.session == f"vid-s{i // 4}"
+            if i % 4 == 3:
+                assert a.end_of_session
+        # the truncated final session still ends
+        assert events[-1].end_of_session
+
+    def test_sessionisation_preserves_the_random_stream(self):
+        plain = self._spec(session_frames=None).events()
+        sessioned = self._spec(session_frames=4).events()
+        assert [a.t_ms for a in plain] == [a.t_ms for a in sessioned]
+        assert [a.image_seed for a in plain] == \
+            [a.image_seed for a in sessioned]
+        assert all(a.session is None for a in plain)
+
+    def test_sessionless_stream_lines_unchanged(self):
+        """Historical digests: the session fields only appear on lines of
+        sessionised arrivals."""
+        plain = self._spec(session_frames=None)
+        sessioned = self._spec(session_frames=4)
+        line0 = plain.events()[0].stream_line()
+        assert len(line0.split()) == 7
+        assert sessioned.events()[0].stream_line() == \
+            line0 + " vid-s0 0"
+        assert plain.stream_digest() != sessioned.stream_digest()
+        # and re-generation is byte-stable
+        assert sessioned.stream_digest() == sessioned.stream_digest()
+
+
+# ----------------------------------------------------------------------
+# scheduler session affinity
+# ----------------------------------------------------------------------
+class TestSessionAffinity:
+    def _pinned_fleet(self, pin_ms, other_ms, **kw):
+        """Pin session "s" on ``w_pin`` (the only worker at submit time),
+        then add a competitor — the next frame exercises the stickiness
+        vs spill decision deterministically."""
+        w_pin = worker("w_pin", ms=pin_ms)
+        sched = FleetScheduler([w_pin], router="cost",
+                               registry=MetricsRegistry(), **kw)
+        sched.submit(IMG, session="s")
+        sched.drain()
+        w_other = worker("w_other", ms=other_ms)
+        sched.add_worker(w_other)
+        return sched
+
+    def test_frames_stick_to_the_pinned_worker(self):
+        # the pinned worker's ECT stays within 3x of the best → sticky
+        # even though the cost router alone would move to w_other
+        sched = self._pinned_fleet(pin_ms=1.0, other_ms=1.0)
+        for _ in range(3):
+            sched.submit(IMG, session="s")
+            sched.drain()
+        assert all(d["worker"] == "w_pin" for d in sched.decisions)
+        assert sched.snapshot()["sessions"]["spills"] == 0
+
+    def test_saturated_pin_spills_and_repins(self):
+        # pinned ECT (10ms) exceeds 3x the best (1ms) → spill + re-pin
+        sched = self._pinned_fleet(pin_ms=10.0, other_ms=1.0)
+        sched.submit(IMG, session="s")
+        sched.drain()
+        assert sched.decisions[-1]["worker"] == "w_other"
+        assert sched.snapshot()["sessions"]["spills"] == 1
+        # the spill re-pinned the stream: no further spills
+        sched.submit(IMG, session="s")
+        sched.drain()
+        assert sched.decisions[-1]["worker"] == "w_other"
+        assert sched.snapshot()["sessions"]["spills"] == 1
+
+    def test_eviction_waits_for_late_siblings(self):
+        """The end-flagged frame resolving must NOT evict the session
+        while a sibling frame is still in flight — the sibling's worker
+        state (and any reroute) still belongs to the stream."""
+        w = worker("w0", ms=1.0)
+        sched = FleetScheduler([w], router="cost",
+                               registry=MetricsRegistry())
+        f_end = sched.submit(IMG, session="s", end_of_session=True)
+        f_sib = sched.submit(IMG16, session="s")    # can't batch with IMG
+        assert sched.step()                          # serves the end frame
+        assert f_end.done() and not f_sib.done()
+        snap = sched.snapshot()["sessions"]
+        assert snap["active"] == 1 and snap["ended"] == 0
+        assert w.engine.ended == []
+        sched.drain()
+        snap = sched.snapshot()["sessions"]
+        assert snap["active"] == 0 and snap["ended"] == 1
+        assert w.engine.ended == ["s"]
+
+    def test_eviction_reaches_every_worker(self):
+        sched = self._pinned_fleet(pin_ms=2.0, other_ms=1.0)
+        sched.submit(IMG, session="s", end_of_session=True)
+        sched.drain()
+        for w in sched.workers:
+            assert w.engine.ended == ["s"]
+        assert sched.snapshot()["sessions"]["ended"] == 1
+
+    def test_sessionless_traffic_untouched(self):
+        sched = FleetScheduler([worker("w0", ms=1.0)],
+                               registry=MetricsRegistry())
+        sched.submit(IMG)
+        sched.drain()
+        snap = sched.snapshot()["sessions"]
+        assert snap == {"active": 0, "ended": 0, "spills": 0}
+
+    def test_spill_factor_validated(self):
+        with pytest.raises(ValueError, match="session_spill_factor"):
+            FleetScheduler([worker("w0", ms=1.0)], session_spill_factor=1.0)
+
+
+class TestRunLoadIntegration:
+    def test_sessionised_load_fully_resolves_and_evicts(self):
+        spec = parse_loadgen(
+            "n=40,duration=40,seed=3,classes=vid:2:8:-:0:4|bg:1:8")
+        sched = FleetScheduler([worker("w0", ms=0.5),
+                                worker("w1", ms=0.8)],
+                               router="cost", registry=MetricsRegistry())
+        futures = sched.run_load(spec.events())
+        assert all(f.done() for f in futures)
+        snap = sched.snapshot()["sessions"]
+        assert snap["active"] == 0
+        assert snap["ended"] >= 1
+        # every eviction reached both workers
+        ended = {tuple(w.engine.ended) for w in sched.workers}
+        assert len(ended) == 1

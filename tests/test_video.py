@@ -1,0 +1,134 @@
+"""Procedural video streams: determinism, byte stability, delta bounds.
+
+The streaming subsystem (docs/streaming.md) rests on two promises made
+by :class:`repro.data.video.VideoStream`:
+
+* frames and offsets are pure functions of ``(seed, frame index)`` —
+  random access never depends on iteration history, and the stream
+  digest is byte-stable across runs;
+* consecutive frames' offset fields differ by at most ``frame_delta``
+  in max-abs, and the delta at frame stride ``s`` grows monotonically
+  with ``s`` — the property the delta-keyed plan cache's hit-rate
+  curve is gated on (benchmarks/bench_streaming.py).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.video import (DEFAULT_OFFSET_SHAPE, VideoFrame, VideoStream,
+                              make_video)
+
+pytestmark = pytest.mark.streaming
+
+
+def _stride_delta(stream, stride, frames=24):
+    """Max-abs offset delta across consecutive stride-``s`` samples."""
+    deltas = []
+    for t in range(0, frames - stride, stride):
+        d = np.max(np.abs(stream.offsets(t + stride) - stream.offsets(t)))
+        deltas.append(float(d))
+    return deltas
+
+
+class TestDeterminism:
+    def test_same_seed_same_bytes(self):
+        a = VideoStream(seed=7, num_frames=6)
+        b = VideoStream(seed=7, num_frames=6)
+        for t in range(6):
+            fa, fb = a.frame(t), b.frame(t)
+            assert fa.image.tobytes() == fb.image.tobytes()
+            assert fa.offset.tobytes() == fb.offset.tobytes()
+            assert [i.label for i in fa.instances] == \
+                [i.label for i in fb.instances]
+
+    def test_random_access_matches_iteration(self):
+        stream = VideoStream(seed=3, num_frames=5)
+        iterated = list(stream)
+        for t in range(5):
+            direct = stream.frame(t)
+            assert direct.image.tobytes() == iterated[t].image.tobytes()
+            assert direct.offset.tobytes() == iterated[t].offset.tobytes()
+
+    def test_digest_stable_and_seed_sensitive(self):
+        d1 = VideoStream(seed=11, num_frames=4).digest()
+        d2 = VideoStream(seed=11, num_frames=4).digest()
+        d3 = VideoStream(seed=12, num_frames=4).digest()
+        assert d1 == d2
+        assert d1 != d3
+
+    def test_digest_param_sensitive(self):
+        base = VideoStream(seed=1, num_frames=4).digest()
+        other = VideoStream(seed=1, num_frames=4, frame_delta=0.5).digest()
+        assert base != other
+
+    def test_session_id_stable(self):
+        assert VideoStream(seed=5).session == VideoStream(seed=5).session
+        assert VideoStream(seed=5).session != VideoStream(seed=6).session
+
+
+class TestFrames:
+    def test_frame_contents(self):
+        fr = VideoStream(seed=0, num_frames=4).frame(2)
+        assert isinstance(fr, VideoFrame)
+        assert fr.index == 2
+        assert fr.image.shape == (3, 64, 64)
+        assert fr.image.dtype == np.float32
+        assert float(fr.image.min()) >= 0.0
+        assert float(fr.image.max()) <= 1.0
+        assert fr.offset.shape == DEFAULT_OFFSET_SHAPE
+        assert fr.offset.dtype == np.float32
+        assert fr.instances  # objects sized well above the skip threshold
+
+    def test_objects_actually_move(self):
+        stream = VideoStream(seed=0, num_frames=32, num_objects=1)
+        boxes = [stream.frame(t).instances[0].box for t in (0, 16)]
+        assert boxes[0] != boxes[1]
+
+    def test_bounds_and_len(self):
+        stream = VideoStream(seed=0, num_frames=3)
+        assert len(stream) == 3
+        with pytest.raises(IndexError):
+            stream.frame(3)
+        with pytest.raises(ValueError):
+            stream.frame(-1)
+        with pytest.raises(TypeError):
+            len(VideoStream(seed=0, num_frames=None))
+
+    def test_make_video(self):
+        clip = make_video(num_frames=4, seed=2)
+        assert len(clip) == 4
+        assert [f.index for f in clip] == [0, 1, 2, 3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VideoStream(size=8)
+        with pytest.raises(ValueError):
+            VideoStream(frame_delta=0.0)
+        with pytest.raises(ValueError):
+            VideoStream(offset_shape=(18, 32, 32))
+
+
+class TestOffsetCoherence:
+    """The analytic per-frame bound and the monotone stride growth."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_frame_delta_is_a_hard_bound(self, seed):
+        stream = VideoStream(seed=seed, num_frames=None, frame_delta=0.25)
+        deltas = _stride_delta(stream, stride=1, frames=48)
+        assert max(deltas) <= 0.25 + 1e-6
+
+    def test_stride_deltas_grow_monotonically(self):
+        stream = VideoStream(seed=0, num_frames=None, frame_delta=0.25)
+        means = [float(np.mean(_stride_delta(stream, s, frames=48)))
+                 for s in (1, 2, 4, 8)]
+        assert means == sorted(means)
+        # stride-8 walks far outside any per-frame bound
+        assert means[-1] > 2 * means[0]
+
+    def test_temporal_excursion_bounded_by_sigma(self):
+        stream = VideoStream(seed=0, offset_sigma=2.0)
+        # the walk around the smooth base field stays inside the circle of
+        # radius sigma on unit fields: |a*U1 + b*U2| <= sqrt(2) * sigma
+        worst = max(float(np.max(np.abs(stream.offsets(t) - stream._base)))
+                    for t in range(16))
+        assert worst <= np.sqrt(2.0) * 2.0 + 1e-5
